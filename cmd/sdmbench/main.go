@@ -1,0 +1,79 @@
+// Command sdmbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sdmbench [-full] [-scale f] [-queries n] [-seed s] <experiment>...
+//	sdmbench -list
+//	sdmbench all
+//
+// Each experiment prints rows mirroring the corresponding artifact of
+// "Supporting Massive DLRM Inference through Software Defined Memory"
+// (tables 1-11, figures 1-6, and the appendix ablations). Absolute numbers
+// come from the simulator at a reduced capacity scale; the shapes (who
+// wins, by what factor) reproduce the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdm/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdmbench", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list experiments and exit")
+		full    = fs.Bool("full", false, "use the larger (slower) experiment scale")
+		scale   = fs.Float64("scale", 0, "override model capacity scale (0 = preset)")
+		queries = fs.Int("queries", 0, "override query count (0 = preset)")
+		seed    = fs.Uint64("seed", 0, "override RNG seed (0 = preset)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+		}
+		return nil
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiment given (try -list or 'all')")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+	sc := experiments.Default()
+	if *full {
+		sc = experiments.Full()
+	}
+	if *scale > 0 {
+		sc.ModelScale = *scale
+	}
+	if *queries > 0 {
+		sc.Queries = *queries
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id, sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		res.Print(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}

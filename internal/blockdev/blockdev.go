@@ -1,0 +1,422 @@
+// Package blockdev simulates the Storage Class Memory devices of the
+// paper's Table 1 (§3): PCIe Nand Flash, PCIe 3DXP (Optane SSD), PCIe ZSSD,
+// DIMM 3DXP and CXL 3DXP.
+//
+// The simulator is "virtual time, real data": device contents are held in
+// memory and copied byte-for-byte on every access (so the functional layer
+// above — caches, dequantization, pooling — operates on real bytes), while
+// access latency is computed from a queueing model on the discrete-event
+// clock. Each device exposes a fixed number of internal channels (dies);
+// an IO occupies a channel for the technology's media latency, so the
+// sustainable IOPS ceiling is channels/mediaLatency and latency rises as
+// the submitted load approaches that ceiling — reproducing the shape of
+// the paper's Fig. 3 (Optane: flat ~10 µs then a sharp knee near 4 MIOPS;
+// Nand: ~100 µs with an earlier knee near 0.5 MIOPS and occasional long
+// tails from internal housekeeping).
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sdm/internal/simclock"
+	"sdm/internal/xrand"
+)
+
+// Technology identifies an SM technology from Table 1.
+type Technology int
+
+// Technologies from the paper's Table 1.
+const (
+	NandFlash Technology = iota + 1
+	OptaneSSD
+	ZSSD
+	DIMM3DXP
+	CXL3DXP
+	// DRAM is not an SM technology; it is included so the same device
+	// abstraction can model direct FM placement and mmap page cache.
+	DRAM
+)
+
+// String returns the technology name.
+func (t Technology) String() string {
+	switch t {
+	case NandFlash:
+		return "PCIe Nand Flash"
+	case OptaneSSD:
+		return "PCIe 3DXP (Optane)"
+	case ZSSD:
+		return "PCIe ZSSD"
+	case DIMM3DXP:
+		return "DIMM 3DXP (Optane)"
+	case CXL3DXP:
+		return "CXL 3DXP"
+	case DRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// TechSpec captures the Table 1 parameters for one SM technology.
+type TechSpec struct {
+	Tech Technology
+	// MaxIOPS is the random-read IOPS ceiling of one device.
+	MaxIOPS float64
+	// MediaLatency is the unloaded access latency for one IO.
+	MediaLatency time.Duration
+	// AccessGranularity is the device's native access granularity in
+	// bytes: reads below this size still cost a full-granularity media
+	// access (read amplification), though SGL sub-block reads can avoid
+	// transferring the unwanted bytes over the bus (§4.1.1).
+	AccessGranularity int
+	// EnduranceDWPD is the physical drive-writes-per-day rating used by
+	// the model-update interval equation of §3.
+	EnduranceDWPD float64
+	// CostPerGBRelDRAM is the relative cost per GB vs DDR4 DRAM.
+	CostPerGBRelDRAM float64
+	// Sourcing is the number of vendors offering the technology.
+	Sourcing int
+	// BusBandwidth is the host-link bandwidth (PCIe/CXL/DIMM) in bytes/s.
+	BusBandwidth float64
+	// TailProb/TailFactor model occasional long-tail accesses (Nand GC,
+	// §5.1's "occasional long tail latency of Nand Flash").
+	TailProb   float64
+	TailFactor float64
+	// WriteLatency is the program latency for one granularity write.
+	WriteLatency time.Duration
+}
+
+// Spec returns the catalog entry for a technology, mirroring Table 1.
+// Values are from the paper's Table 1 and Fig. 3 (public information).
+func Spec(t Technology) TechSpec {
+	switch t {
+	case NandFlash:
+		return TechSpec{
+			Tech: NandFlash, MaxIOPS: 500e3, MediaLatency: 90 * time.Microsecond,
+			AccessGranularity: 4096, EnduranceDWPD: 5, CostPerGBRelDRAM: 1.0 / 30,
+			Sourcing: 3, BusBandwidth: 3.2e9, TailProb: 0.01, TailFactor: 8,
+			WriteLatency: 600 * time.Microsecond,
+		}
+	case OptaneSSD:
+		return TechSpec{
+			Tech: OptaneSSD, MaxIOPS: 4e6, MediaLatency: 10 * time.Microsecond,
+			AccessGranularity: 512, EnduranceDWPD: 100, CostPerGBRelDRAM: 1.0 / 5,
+			Sourcing: 1, BusBandwidth: 3.2e9, TailProb: 0.001, TailFactor: 3,
+			WriteLatency: 12 * time.Microsecond,
+		}
+	case ZSSD:
+		return TechSpec{
+			Tech: ZSSD, MaxIOPS: 1e6, MediaLatency: 60 * time.Microsecond,
+			AccessGranularity: 4096, EnduranceDWPD: 5, CostPerGBRelDRAM: 1.0 / 10,
+			Sourcing: 1, BusBandwidth: 3.2e9, TailProb: 0.005, TailFactor: 6,
+			WriteLatency: 300 * time.Microsecond,
+		}
+	case DIMM3DXP:
+		return TechSpec{
+			Tech: DIMM3DXP, MaxIOPS: 20e6, MediaLatency: 300 * time.Nanosecond,
+			AccessGranularity: 64, EnduranceDWPD: 300, CostPerGBRelDRAM: 1.0 / 3,
+			Sourcing: 1, BusBandwidth: 20e9, WriteLatency: 1 * time.Microsecond,
+		}
+	case CXL3DXP:
+		return TechSpec{
+			Tech: CXL3DXP, MaxIOPS: 12e6, MediaLatency: 500 * time.Nanosecond,
+			AccessGranularity: 128, EnduranceDWPD: 300, CostPerGBRelDRAM: 1.0 / 3,
+			Sourcing: 1, BusBandwidth: 16e9, WriteLatency: 1 * time.Microsecond,
+		}
+	case DRAM:
+		return TechSpec{
+			Tech: DRAM, MaxIOPS: 500e6, MediaLatency: 100 * time.Nanosecond,
+			AccessGranularity: 64, EnduranceDWPD: 1e9, CostPerGBRelDRAM: 1,
+			Sourcing: 3, BusBandwidth: 80e9, WriteLatency: 100 * time.Nanosecond,
+		}
+	default:
+		return TechSpec{Tech: t}
+	}
+}
+
+// Catalog returns all Table 1 technologies in presentation order.
+func Catalog() []TechSpec {
+	return []TechSpec{
+		Spec(NandFlash), Spec(OptaneSSD), Spec(ZSSD), Spec(DIMM3DXP), Spec(CXL3DXP),
+	}
+}
+
+// Errors returned by Device accesses.
+var (
+	ErrOutOfRange = errors.New("blockdev: access out of device range")
+	ErrClosed     = errors.New("blockdev: device closed")
+)
+
+// Stats aggregates device counters.
+type Stats struct {
+	Reads          uint64 // completed read IOs
+	Writes         uint64 // completed write IOs
+	MediaBytes     uint64 // bytes read at media granularity (incl. amplification)
+	BusBytes       uint64 // read bytes actually transferred over the host link
+	BusWriteBytes  uint64 // write bytes transferred over the host link
+	RequestedBytes uint64 // bytes the host asked for
+	TailEvents     uint64 // long-tail accesses
+	BytesWritten   uint64 // lifetime writes for endurance accounting
+}
+
+// ReadAmplification returns MediaBytes/RequestedBytes (1.0 = none).
+func (s Stats) ReadAmplification() float64 {
+	if s.RequestedBytes == 0 {
+		return 0
+	}
+	return float64(s.MediaBytes) / float64(s.RequestedBytes)
+}
+
+// BusSavings returns the fraction of media bytes that SGL sub-block reads
+// avoided transferring over the bus.
+func (s Stats) BusSavings() float64 {
+	if s.MediaBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.BusBytes)/float64(s.MediaBytes)
+}
+
+// Device simulates one SM device instance.
+type Device struct {
+	spec     TechSpec
+	clock    *simclock.Clock
+	rng      *xrand.RNG
+	data     []byte
+	channels []simclock.Time // next-free virtual time per internal channel
+	stats    Stats
+	closed   bool
+	// MaxOutstanding caps concurrently queued IOs; 0 means unlimited.
+	// The paper limits outstanding requests to Nand devices to smooth
+	// bursts (§4.1 Tuning API); enforcement happens in package uring,
+	// this field carries the device's recommended cap.
+	MaxOutstanding int
+}
+
+// New creates a device of the given technology with capacity bytes of
+// backing store (allocated eagerly; scale capacities to the experiment).
+func New(spec TechSpec, capacity int64, clock *simclock.Clock, seed uint64) *Device {
+	nch := int(spec.MaxIOPS * spec.MediaLatency.Seconds())
+	if nch < 1 {
+		nch = 1
+	}
+	d := &Device{
+		spec:     spec,
+		clock:    clock,
+		rng:      xrand.New(seed),
+		data:     make([]byte, capacity),
+		channels: make([]simclock.Time, nch),
+	}
+	if spec.Tech == NandFlash || spec.Tech == ZSSD {
+		// §4.1: "with Nand Flash, we need to smooth out the bursts by
+		// limiting the maximum outstanding requests to the SSD".
+		d.MaxOutstanding = 2 * nch
+	}
+	return d
+}
+
+// Spec returns the device's technology parameters.
+func (d *Device) Spec() TechSpec { return d.spec }
+
+// Capacity returns the device capacity in bytes.
+func (d *Device) Capacity() int64 { return int64(len(d.data)) }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats clears the device counters (not the endurance counter).
+func (d *Device) ResetStats() {
+	written := d.stats.BytesWritten
+	d.stats = Stats{BytesWritten: written}
+}
+
+// Channels returns the device's internal parallelism.
+func (d *Device) Channels() int { return len(d.channels) }
+
+// Close marks the device closed; subsequent accesses fail.
+func (d *Device) Close() { d.closed = true }
+
+// nextChannel returns the index of the earliest-free channel.
+func (d *Device) nextChannel() int {
+	best := 0
+	for i, t := range d.channels {
+		if t < d.channels[best] {
+			best = i
+		}
+		_ = t
+	}
+	return best
+}
+
+// serviceOne books one media access starting no earlier than now and
+// returns its completion time.
+func (d *Device) serviceOne(now simclock.Time, write bool) simclock.Time {
+	ch := d.nextChannel()
+	start := now
+	if d.channels[ch] > start {
+		start = d.channels[ch]
+	}
+	svc := d.spec.MediaLatency
+	if write {
+		svc = d.spec.WriteLatency
+	}
+	if d.spec.TailProb > 0 && d.rng.Float64() < d.spec.TailProb {
+		svc = time.Duration(float64(svc) * d.spec.TailFactor)
+		d.stats.TailEvents++
+	}
+	// ±10% service-time jitter.
+	svc = time.Duration(float64(svc) * (0.9 + 0.2*d.rng.Float64()))
+	done := start + simclock.Time(svc)
+	d.channels[ch] = done
+	return done
+}
+
+// busTransfer accounts n read bytes over the host link and returns the
+// transfer latency.
+func (d *Device) busTransfer(n int) simclock.Time {
+	d.stats.BusBytes += uint64(n)
+	return simclock.Time(d.busTime(n))
+}
+
+// busTime returns the link transfer time for n bytes.
+func (d *Device) busTime(n int) time.Duration {
+	if d.spec.BusBandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / d.spec.BusBandwidth * float64(time.Second))
+}
+
+// granules returns how many media accesses a [off, off+n) read costs.
+func (d *Device) granules(off int64, n int) int {
+	g := int64(d.spec.AccessGranularity)
+	if g <= 0 {
+		g = 1
+	}
+	first := off / g
+	last := (off + int64(n) - 1) / g
+	return int(last - first + 1)
+}
+
+// alignedSpan returns the media-granularity-aligned byte span covering
+// [off, off+n).
+func (d *Device) alignedSpan(off int64, n int) (int64, int) {
+	g := int64(d.spec.AccessGranularity)
+	if g <= 0 {
+		g = 1
+	}
+	start := off / g * g
+	end := (off + int64(n) + g - 1) / g * g
+	return start, int(end - start)
+}
+
+// Read performs a block-granularity read: the whole aligned span covering
+// [off, off+len(p)) is read at the media and transferred over the bus
+// (classic read amplification). Data for the requested range is copied into
+// p. It returns the virtual completion time.
+func (d *Device) Read(now simclock.Time, p []byte, off int64) (simclock.Time, error) {
+	return d.read(now, p, off, false)
+}
+
+// ReadSGL performs a sub-block read using the NVMe SGL bit-bucket technique
+// of §4.1.1: the media access still covers the full aligned span, but only
+// the requested bytes cross the bus, saving bus bandwidth and the extra
+// host-side copy.
+func (d *Device) ReadSGL(now simclock.Time, p []byte, off int64) (simclock.Time, error) {
+	return d.read(now, p, off, true)
+}
+
+func (d *Device) read(now simclock.Time, p []byte, off int64, sgl bool) (simclock.Time, error) {
+	if d.closed {
+		return now, ErrClosed
+	}
+	if off < 0 || off+int64(len(p)) > int64(len(d.data)) {
+		return now, fmt.Errorf("%w: off=%d len=%d cap=%d", ErrOutOfRange, off, len(p), len(d.data))
+	}
+	copy(p, d.data[off:off+int64(len(p))])
+
+	_, span := d.alignedSpan(off, len(p))
+	gr := d.granules(off, len(p))
+	done := now
+	for i := 0; i < gr; i++ {
+		if t := d.serviceOne(now, false); t > done {
+			done = t
+		}
+	}
+	d.stats.Reads++
+	d.stats.MediaBytes += uint64(span)
+	d.stats.RequestedBytes += uint64(len(p))
+	if sgl {
+		done += d.busTransfer(len(p))
+	} else {
+		done += d.busTransfer(span)
+	}
+	return done, nil
+}
+
+// Write writes p at off, modelling program latency and endurance wear.
+func (d *Device) Write(now simclock.Time, p []byte, off int64) (simclock.Time, error) {
+	if d.closed {
+		return now, ErrClosed
+	}
+	if off < 0 || off+int64(len(p)) > int64(len(d.data)) {
+		return now, fmt.Errorf("%w: off=%d len=%d cap=%d", ErrOutOfRange, off, len(p), len(d.data))
+	}
+	copy(d.data[off:off+int64(len(p))], p)
+	_, span := d.alignedSpan(off, len(p))
+	gr := d.granules(off, len(p))
+	done := now
+	for i := 0; i < gr; i++ {
+		if t := d.serviceOne(now, true); t > done {
+			done = t
+		}
+	}
+	done += simclock.Time(d.busTime(len(p)))
+	d.stats.BusWriteBytes += uint64(len(p))
+	d.stats.Writes++
+	d.stats.BytesWritten += uint64(span)
+	return done, nil
+}
+
+// Peek returns a read-only view of the backing bytes (test/oracle use).
+func (d *Device) Peek(off int64, n int) []byte {
+	return d.data[off : off+int64(n)]
+}
+
+// LoadedLatency estimates the completion latency of a single read issued at
+// the given sustained IOPS load, without disturbing device state. It is the
+// analytic form of the Fig. 3 curves: flat at MediaLatency while load is
+// below the ceiling, with an M/M/c-style knee as utilization approaches 1.
+func (s TechSpec) LoadedLatency(iops float64) time.Duration {
+	rho := iops / s.MaxIOPS
+	if rho >= 0.999 {
+		rho = 0.999
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	// Waiting-time inflation: negligible below ~60% utilization, then a
+	// sharp knee (heavier for technologies with fewer effective channels).
+	infl := 1 + 0.05*rho/(1-rho)
+	return time.Duration(float64(s.MediaLatency) * infl)
+}
+
+// UpdateInterval returns the minimum sustainable model-update interval in
+// days implied by device endurance (§3):
+//
+//	UpdateInterval = 365 * ModelSize / (pDWPD * SMCapacity) / 365 days
+//
+// i.e. days between full-model writes such that lifetime writes stay within
+// the DWPD rating over a 5-year (or ratingYears) life.
+func UpdateInterval(modelBytes, smCapacityBytes int64, dwpd float64) time.Duration {
+	if smCapacityBytes <= 0 || dwpd <= 0 {
+		return 0
+	}
+	// Allowed writes per day = dwpd * capacity. One update writes
+	// modelBytes. Minimum interval between updates:
+	updatesPerDay := dwpd * float64(smCapacityBytes) / float64(modelBytes)
+	if updatesPerDay <= 0 {
+		return 0
+	}
+	return time.Duration(24 * float64(time.Hour) / updatesPerDay)
+}

@@ -1,0 +1,248 @@
+// Package cache implements the software-managed FM row cache of §4.3 — the
+// from-scratch substitute for CacheLib. It provides the two designs the
+// paper tuned between:
+//
+//   - a memory-optimized cache (set-associative, compact fixed slots, CLOCK
+//     eviction; less overhead per key-value pair but requires a search in a
+//     bucket), and
+//   - a CPU-optimized cache (hash map + intrusive LRU list; higher per-item
+//     metadata overhead but O(1) operations),
+//
+// plus the dual "unified row cache" the paper deploys: rows with embedding
+// dim ≤ 255 B route to the memory-optimized cache, larger rows to the
+// CPU-optimized one. Partition counts and sizes are the §4.3 Tuning API.
+// Entries can be marked dirty to support cache-first incremental model
+// updates with write-back to SM (§A.3).
+package cache
+
+import "fmt"
+
+// Key identifies one embedding row.
+type Key struct {
+	Table int32
+	Row   int64
+}
+
+func (k Key) hash() uint64 {
+	h := uint64(k.Row)*0x9e3779b97f4a7c15 ^ uint64(uint32(k.Table))*0xc2b2ae3d27d4eb4f
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// Stats aggregates cache counters.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Puts       uint64
+	Evictions  uint64
+	Rejected   uint64 // values too large for the cache's slots
+	UsedBytes  int64  // value bytes currently resident
+	TotalBytes int64  // configured capacity (values + metadata)
+	MetaBytes  int64  // metadata overhead currently resident
+	Items      int64
+}
+
+// HitRate returns hits/(hits+misses).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func (s Stats) add(o Stats) Stats {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Puts += o.Puts
+	s.Evictions += o.Evictions
+	s.Rejected += o.Rejected
+	s.UsedBytes += o.UsedBytes
+	s.TotalBytes += o.TotalBytes
+	s.MetaBytes += o.MetaBytes
+	s.Items += o.Items
+	return s
+}
+
+// RowCache is the interface shared by the cache variants.
+type RowCache interface {
+	// Get copies the cached value for k into dst and returns its length.
+	// ok is false on miss. dst must be large enough for the row.
+	Get(k Key, dst []byte) (n int, ok bool)
+	// Put inserts or replaces the value for k.
+	Put(k Key, v []byte)
+	// PutDirty inserts the value and marks it dirty (pending write-back).
+	PutDirty(k Key, v []byte)
+	// FlushDirty invokes fn for every dirty entry and clears the flags.
+	FlushDirty(fn func(k Key, v []byte))
+	// Contains reports residency without updating recency or stats.
+	Contains(k Key) bool
+	// Stats returns a snapshot of counters.
+	Stats() Stats
+	// Reset drops all entries and zeroes the counters.
+	Reset()
+	// CPUCostPerGet returns the relative CPU cost model of one lookup
+	// (1.0 = the CPU-optimized cache), used by the serving simulator to
+	// reproduce the Fig. 6 trade-off.
+	CPUCostPerGet() float64
+}
+
+// Compile-time interface checks.
+var (
+	_ RowCache = (*MemOptimized)(nil)
+	_ RowCache = (*CPUOptimized)(nil)
+	_ RowCache = (*Dual)(nil)
+	_ RowCache = (*Partitioned)(nil)
+)
+
+// Dual routes rows to a memory-optimized or CPU-optimized cache by their
+// stored row size, reproducing the paper's production configuration:
+// "Embedding dim <= 255 will be routed to memory optimized cache".
+type Dual struct {
+	splitBytes int
+	mem        RowCache
+	cpu        RowCache
+}
+
+// NewDual builds the dual cache. memBytes and cpuBytes are the two cache
+// budgets; splitBytes is the routing threshold (0 → 255, the paper's value).
+func NewDual(memBytes, cpuBytes int64, splitBytes int) *Dual {
+	if splitBytes <= 0 {
+		splitBytes = 255
+	}
+	return &Dual{
+		splitBytes: splitBytes,
+		mem:        NewMemOptimized(memBytes, splitBytes),
+		cpu:        NewCPUOptimized(cpuBytes),
+	}
+}
+
+func (d *Dual) route(n int) RowCache {
+	if n <= d.splitBytes {
+		return d.mem
+	}
+	return d.cpu
+}
+
+// RouteSize reports which cache a row of n bytes uses ("mem" or "cpu").
+func (d *Dual) RouteSize(n int) string {
+	if n <= d.splitBytes {
+		return "mem"
+	}
+	return "cpu"
+}
+
+// Get looks up k; the row size is unknown at Get time, so the
+// memory-optimized side is consulted first (covering the common case of
+// small rows), then the CPU-optimized side.
+func (d *Dual) Get(k Key, dst []byte) (int, bool) {
+	if n, ok := d.mem.Get(k, dst); ok {
+		return n, true
+	}
+	n, ok := d.cpu.Get(k, dst)
+	if !ok {
+		// Avoid double-counting the miss recorded by both sides.
+		// (Both sides counted a miss; subtracting one keeps totals right.)
+		d.discountMiss()
+	}
+	return n, ok
+}
+
+func (d *Dual) discountMiss() {
+	if m, ok := d.mem.(*MemOptimized); ok && m.stats.Misses > 0 {
+		m.stats.Misses--
+	}
+}
+
+// Put routes by value size.
+func (d *Dual) Put(k Key, v []byte) { d.route(len(v)).Put(k, v) }
+
+// PutDirty routes by value size and marks the entry dirty.
+func (d *Dual) PutDirty(k Key, v []byte) { d.route(len(v)).PutDirty(k, v) }
+
+// FlushDirty flushes both sides.
+func (d *Dual) FlushDirty(fn func(k Key, v []byte)) {
+	d.mem.FlushDirty(fn)
+	d.cpu.FlushDirty(fn)
+}
+
+// Contains reports residency in either side.
+func (d *Dual) Contains(k Key) bool { return d.mem.Contains(k) || d.cpu.Contains(k) }
+
+// Stats sums both sides.
+func (d *Dual) Stats() Stats { return d.mem.Stats().add(d.cpu.Stats()) }
+
+// Reset clears both sides.
+func (d *Dual) Reset() {
+	d.mem.Reset()
+	d.cpu.Reset()
+}
+
+// CPUCostPerGet blends the two sides' cost models.
+func (d *Dual) CPUCostPerGet() float64 {
+	return (d.mem.CPUCostPerGet() + d.cpu.CPUCostPerGet()) / 2
+}
+
+// Partitioned shards any RowCache constructor across n partitions by key
+// hash — the "number of cache partitions" Tuning API of §4.3.
+type Partitioned struct {
+	parts []RowCache
+}
+
+// NewPartitioned builds n partitions, each constructed by mk with an equal
+// share of the total budget.
+func NewPartitioned(n int, totalBytes int64, mk func(budget int64) RowCache) (*Partitioned, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cache: partitions must be > 0, got %d", n)
+	}
+	p := &Partitioned{parts: make([]RowCache, n)}
+	share := totalBytes / int64(n)
+	for i := range p.parts {
+		p.parts[i] = mk(share)
+	}
+	return p, nil
+}
+
+func (p *Partitioned) pick(k Key) RowCache {
+	return p.parts[k.hash()%uint64(len(p.parts))]
+}
+
+// Get delegates to the key's partition.
+func (p *Partitioned) Get(k Key, dst []byte) (int, bool) { return p.pick(k).Get(k, dst) }
+
+// Put delegates to the key's partition.
+func (p *Partitioned) Put(k Key, v []byte) { p.pick(k).Put(k, v) }
+
+// PutDirty delegates to the key's partition.
+func (p *Partitioned) PutDirty(k Key, v []byte) { p.pick(k).PutDirty(k, v) }
+
+// FlushDirty flushes every partition.
+func (p *Partitioned) FlushDirty(fn func(k Key, v []byte)) {
+	for _, c := range p.parts {
+		c.FlushDirty(fn)
+	}
+}
+
+// Contains delegates to the key's partition.
+func (p *Partitioned) Contains(k Key) bool { return p.pick(k).Contains(k) }
+
+// Stats sums all partitions.
+func (p *Partitioned) Stats() Stats {
+	var s Stats
+	for _, c := range p.parts {
+		s = s.add(c.Stats())
+	}
+	return s
+}
+
+// Reset clears every partition.
+func (p *Partitioned) Reset() {
+	for _, c := range p.parts {
+		c.Reset()
+	}
+}
+
+// CPUCostPerGet returns the first partition's cost model.
+func (p *Partitioned) CPUCostPerGet() float64 { return p.parts[0].CPUCostPerGet() }

@@ -1,0 +1,295 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func testBasicPutGet(t *testing.T, c RowCache) {
+	t.Helper()
+	k := Key{Table: 1, Row: 42}
+	v := []byte{1, 2, 3, 4}
+	c.Put(k, v)
+	dst := make([]byte, 16)
+	n, ok := c.Get(k, dst)
+	if !ok || n != 4 {
+		t.Fatalf("get ok=%v n=%d", ok, n)
+	}
+	for i := range v {
+		if dst[i] != v[i] {
+			t.Fatalf("value mismatch %v", dst[:n])
+		}
+	}
+	if _, ok := c.Get(Key{Table: 1, Row: 43}, dst); ok {
+		t.Fatal("phantom hit")
+	}
+	if !c.Contains(k) || c.Contains(Key{Table: 9, Row: 9}) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestMemOptimizedBasic(t *testing.T) { testBasicPutGet(t, NewMemOptimized(1<<16, 255)) }
+func TestCPUOptimizedBasic(t *testing.T) { testBasicPutGet(t, NewCPUOptimized(1<<16)) }
+func TestDualBasic(t *testing.T)         { testBasicPutGet(t, NewDual(1<<16, 1<<16, 255)) }
+
+func TestPartitionedBasic(t *testing.T) {
+	p, err := NewPartitioned(4, 1<<18, func(b int64) RowCache { return NewCPUOptimized(b) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	testBasicPutGet(t, p)
+}
+
+func TestPartitionedBadCount(t *testing.T) {
+	if _, err := NewPartitioned(0, 1<<10, func(b int64) RowCache { return NewCPUOptimized(b) }); err == nil {
+		t.Fatal("zero partitions should fail")
+	}
+}
+
+func testReplace(t *testing.T, c RowCache) {
+	t.Helper()
+	k := Key{Table: 2, Row: 7}
+	c.Put(k, []byte{1, 1})
+	c.Put(k, []byte{2, 2, 2})
+	dst := make([]byte, 8)
+	n, ok := c.Get(k, dst)
+	if !ok || n != 3 || dst[0] != 2 {
+		t.Fatalf("replace failed: ok=%v n=%d v=%v", ok, n, dst[:n])
+	}
+}
+
+func TestMemOptimizedReplace(t *testing.T) { testReplace(t, NewMemOptimized(1<<16, 255)) }
+func TestCPUOptimizedReplace(t *testing.T) { testReplace(t, NewCPUOptimized(1<<16)) }
+
+func TestCPUOptimizedEvictionBudget(t *testing.T) {
+	c := NewCPUOptimized(4 << 10)
+	v := make([]byte, 100)
+	for i := 0; i < 1000; i++ {
+		c.Put(Key{Table: 1, Row: int64(i)}, v)
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Fatal("over-budget inserts must evict")
+	}
+	if s.UsedBytes+s.MetaBytes > s.TotalBytes {
+		t.Fatalf("resident %d exceeds budget %d", s.UsedBytes+s.MetaBytes, s.TotalBytes)
+	}
+}
+
+func TestCPUOptimizedLRUOrder(t *testing.T) {
+	// Budget for ~3 items of 100 B + 112 B meta.
+	c := NewCPUOptimized(700)
+	v := make([]byte, 100)
+	dst := make([]byte, 128)
+	c.Put(Key{Row: 1}, v)
+	c.Put(Key{Row: 2}, v)
+	c.Put(Key{Row: 3}, v)
+	c.Get(Key{Row: 1}, dst) // refresh 1
+	c.Put(Key{Row: 4}, v)   // should evict 2 (LRU)
+	if !c.Contains(Key{Row: 1}) {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.Contains(Key{Row: 2}) {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestMemOptimizedClockEviction(t *testing.T) {
+	c := NewMemOptimized(8*(255+memMetaPerSlot), 255) // exactly one set of 8 ways
+	v := make([]byte, 64)
+	for i := 0; i < 64; i++ {
+		c.Put(Key{Row: int64(i)}, v)
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Fatal("full set must evict")
+	}
+	if s.Items > 8 {
+		t.Fatalf("items %d exceed capacity", s.Items)
+	}
+}
+
+func TestMemOptimizedRejectsOversized(t *testing.T) {
+	c := NewMemOptimized(1<<16, 64)
+	c.Put(Key{Row: 1}, make([]byte, 100))
+	if c.Stats().Rejected != 1 {
+		t.Fatal("oversized value should be rejected")
+	}
+	if c.Contains(Key{Row: 1}) {
+		t.Fatal("oversized value should not be cached")
+	}
+}
+
+func TestMemOverheadSmallerThanCPU(t *testing.T) {
+	// The Fig. 6 rationale: per-item metadata of the memory-optimized
+	// cache is far below the CPU-optimized cache's.
+	mem := NewMemOptimized(1<<20, 128)
+	cpu := NewCPUOptimized(1 << 20)
+	v := make([]byte, 64)
+	for i := 0; i < 1000; i++ {
+		k := Key{Row: int64(i)}
+		mem.Put(k, v)
+		cpu.Put(k, v)
+	}
+	ms, cs := mem.Stats(), cpu.Stats()
+	memPer := float64(ms.MetaBytes) / float64(ms.Items)
+	cpuPer := float64(cs.MetaBytes) / float64(cs.Items)
+	if memPer*2 > cpuPer {
+		t.Fatalf("mem-opt overhead %.0fB/item should be well under cpu-opt %.0fB/item", memPer, cpuPer)
+	}
+	// And its lookups cost more CPU.
+	if mem.CPUCostPerGet() <= cpu.CPUCostPerGet() {
+		t.Fatal("mem-opt lookups should cost more CPU than cpu-opt")
+	}
+}
+
+func TestDualRouting(t *testing.T) {
+	d := NewDual(1<<16, 1<<16, 255)
+	small := make([]byte, 100)
+	large := make([]byte, 300)
+	d.Put(Key{Row: 1}, small)
+	d.Put(Key{Row: 2}, large)
+	if d.RouteSize(100) != "mem" || d.RouteSize(300) != "cpu" {
+		t.Fatal("routing thresholds wrong")
+	}
+	dst := make([]byte, 512)
+	if n, ok := d.Get(Key{Row: 1}, dst); !ok || n != 100 {
+		t.Fatal("small row lost")
+	}
+	if n, ok := d.Get(Key{Row: 2}, dst); !ok || n != 300 {
+		t.Fatal("large row lost")
+	}
+}
+
+func TestDualMissAccounting(t *testing.T) {
+	d := NewDual(1<<16, 1<<16, 255)
+	dst := make([]byte, 16)
+	d.Put(Key{Row: 1}, []byte{1})
+	d.Get(Key{Row: 1}, dst) // hit
+	d.Get(Key{Row: 2}, dst) // miss
+	s := d.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("dual should count 1 hit 1 miss, got %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("hit rate %g", s.HitRate())
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	for name, c := range map[string]RowCache{
+		"mem":  NewMemOptimized(1<<16, 255),
+		"cpu":  NewCPUOptimized(1 << 16),
+		"dual": NewDual(1<<16, 1<<16, 255),
+	} {
+		c.Put(Key{Row: 1}, []byte{1})
+		c.PutDirty(Key{Row: 2}, []byte{2})
+		c.PutDirty(Key{Row: 3}, []byte{3})
+		var flushed []int64
+		c.FlushDirty(func(k Key, v []byte) { flushed = append(flushed, k.Row) })
+		if len(flushed) != 2 {
+			t.Fatalf("%s: flushed %v, want rows 2,3", name, flushed)
+		}
+		// Second flush is a no-op.
+		flushed = nil
+		c.FlushDirty(func(k Key, v []byte) { flushed = append(flushed, k.Row) })
+		if len(flushed) != 0 {
+			t.Fatalf("%s: dirty bits not cleared", name)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	for name, c := range map[string]RowCache{
+		"mem":  NewMemOptimized(1<<16, 255),
+		"cpu":  NewCPUOptimized(1 << 16),
+		"dual": NewDual(1<<16, 1<<16, 255),
+	} {
+		c.Put(Key{Row: 1}, []byte{1})
+		c.Reset()
+		if c.Contains(Key{Row: 1}) {
+			t.Fatalf("%s: reset kept entries", name)
+		}
+		if s := c.Stats(); s.Items != 0 || s.UsedBytes != 0 {
+			t.Fatalf("%s: reset kept stats %+v", name, s)
+		}
+	}
+}
+
+func TestPartitionedSpread(t *testing.T) {
+	p, err := NewPartitioned(8, 1<<20, func(b int64) RowCache { return NewCPUOptimized(b) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]byte, 32)
+	for i := 0; i < 1000; i++ {
+		p.Put(Key{Table: int32(i % 5), Row: int64(i)}, v)
+	}
+	// All partitions should hold something (hash spreading).
+	for i, part := range p.parts {
+		if part.Stats().Items == 0 {
+			t.Fatalf("partition %d empty", i)
+		}
+	}
+	if p.Stats().Items != 1000 {
+		t.Fatalf("total items %d", p.Stats().Items)
+	}
+}
+
+func TestCacheGetReturnsWhatWasPut(t *testing.T) {
+	// Property: for a cache big enough to never evict, Get returns the
+	// exact bytes of the latest Put.
+	c := NewDual(1<<22, 1<<22, 255)
+	f := func(table int32, row int64, val []byte) bool {
+		if len(val) == 0 || len(val) > 500 {
+			return true
+		}
+		k := Key{Table: table, Row: row}
+		c.Put(k, val)
+		dst := make([]byte, 512)
+		n, ok := c.Get(k, dst)
+		if !ok || n != len(val) {
+			return false
+		}
+		for i := range val {
+			if dst[i] != val[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyHashSpread(t *testing.T) {
+	// Adjacent rows should not collide into the same bucket pattern.
+	seen := make(map[uint64]bool)
+	for i := int64(0); i < 10000; i++ {
+		h := Key{Table: 3, Row: i}.hash()
+		if seen[h] {
+			t.Fatalf("hash collision at row %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Hits: 1, Misses: 2, Items: 3}
+	b := Stats{Hits: 10, Misses: 20, Items: 30}
+	c := a.add(b)
+	if c.Hits != 11 || c.Misses != 22 || c.Items != 33 {
+		t.Fatalf("add %+v", c)
+	}
+}
+
+func ExampleDual() {
+	d := NewDual(1<<16, 1<<16, 255)
+	d.Put(Key{Table: 1, Row: 7}, []byte{42})
+	dst := make([]byte, 8)
+	n, ok := d.Get(Key{Table: 1, Row: 7}, dst)
+	fmt.Println(n, ok, dst[0])
+	// Output: 1 true 42
+}

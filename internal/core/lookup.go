@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sdm/internal/cache"
+	"sdm/internal/placement"
+	"sdm/internal/quant"
+	"sdm/internal/simclock"
+	"sdm/internal/workload"
+)
+
+// OpResult reports the virtual-time accounting of one embedding operator.
+type OpResult struct {
+	// IODone is the completion time of the slowest SM IO issued for the
+	// op (== the issue time when everything hit FM or cache).
+	IODone simclock.Time
+	// CPUTime is the host CPU consumed by the op (cache probes,
+	// dequantization, pooling, hashing, copies).
+	CPUTime time.Duration
+	// SMReads is the number of device row reads the op required.
+	SMReads int
+}
+
+// PoolOp executes one embedding operator (Algorithm 1 with the full SDM
+// path): for each pool in the op it consults the pooled embedding cache,
+// then per index resolves pruning mappers, probes the FM row cache, reads
+// missing rows from SM, and dequantizes+pools into out[b].
+//
+// out must have one slice per pool, each len == the table's Dim. now is the
+// virtual issue time; the result carries IO completion and CPU cost so the
+// caller (the host simulator) can overlap user- and item-side work per
+// Eq. 3.
+func (s *Store) PoolOp(now simclock.Time, op workload.TableOp, out [][]float32) (OpResult, error) {
+	if op.Table < 0 || op.Table >= len(s.tables) {
+		return OpResult{}, fmt.Errorf("core: op table %d out of range", op.Table)
+	}
+	if len(out) != len(op.Pools) {
+		return OpResult{}, fmt.Errorf("core: %d output slices for %d pools", len(out), len(op.Pools))
+	}
+	st := s.tables[op.Table]
+	res := OpResult{IODone: now}
+
+	for b, pool := range op.Pools {
+		if len(out[b]) != st.spec.Dim {
+			return res, fmt.Errorf("core: out[%d] dim %d, want %d", b, len(out[b]), st.spec.Dim)
+		}
+		if err := s.poolOne(now, st, pool, out[b], &res); err != nil {
+			return res, err
+		}
+	}
+	s.stats.CPUTime += res.CPUTime
+	return res, nil
+}
+
+// poolOne pools one index sequence for one batch element.
+func (s *Store) poolOne(now simclock.Time, st *tableState, pool []int64, out []float32, res *OpResult) error {
+	// Pooled embedding cache (§4.4, Algorithm 1).
+	usePooled := s.pooled != nil && st.target == placement.SM
+	if usePooled {
+		res.CPUTime += time.Duration(len(pool)) * costHashPerIndex
+		if vec := s.pooled.Get(int32(st.spec.ID), pool); vec != nil {
+			copy(out, vec)
+			res.CPUTime += perByteCost(costPooledCopyByteNs, 4*len(out))
+			s.stats.PooledHits++
+			return nil
+		}
+		s.stats.PooledMisses++
+	}
+
+	for i := range out {
+		out[i] = 0
+	}
+
+	if st.target == placement.FM {
+		// Direct FM placement: plain memory pooling, no cache overhead —
+		// the baseline SDM competes with in Fig. 6.
+		if err := st.fm.Pool(out, pool); err != nil {
+			return err
+		}
+		n := len(pool)
+		s.stats.Lookups += uint64(n)
+		s.stats.FMDirectReads += uint64(n)
+		res.CPUTime += perByteCost(costFMReadPerByteNs+costDequantPerByteNs, n*st.spec.RowBytes())
+		return nil
+	}
+
+	for _, idx := range pool {
+		s.stats.Lookups++
+		row := idx
+		// Pruned tables resolve through the FM mapper tensor (§4.5).
+		if st.mapper != nil {
+			res.CPUTime += costMapperLookup
+			if row < 0 || row >= int64(len(st.mapper)) {
+				return fmt.Errorf("core: index %d out of mapper range %d", row, len(st.mapper))
+			}
+			m := st.mapper[row]
+			if m < 0 {
+				s.stats.MapperSkips++
+				continue // pruned row: contributes zero
+			}
+			row = int64(m)
+		}
+		if err := s.fetchAndAccumulate(now, st, row, out, res); err != nil {
+			return err
+		}
+	}
+
+	if usePooled {
+		s.pooled.Put(int32(st.spec.ID), pool, out)
+		res.CPUTime += perByteCost(costPooledCopyByteNs, 4*len(out))
+	}
+	return nil
+}
+
+// fetchAndAccumulate obtains stored row bytes (cache → SM) and accumulates
+// the dequantized row into out.
+func (s *Store) fetchAndAccumulate(now simclock.Time, st *tableState, row int64, out []float32, res *OpResult) error {
+	rb := st.rowBytes
+	buf := s.rowBuf[:rb]
+	key := cache.Key{Table: int32(st.spec.ID), Row: row}
+
+	if st.cacheEnabled && !s.cfg.UseMmap {
+		res.CPUTime += time.Duration(float64(costCacheGetBase) * s.rowCache.CPUCostPerGet())
+		if n, ok := s.rowCache.Get(key, buf); ok {
+			res.CPUTime += perByteCost(costDequantPerByteNs, n)
+			return quant.AccumulateRow(out, buf[:n], st.storedSpec.QType)
+		}
+	}
+
+	dev, off := s.smLocation(st, row)
+	start := now
+	if st.throttle != nil {
+		start = st.throttle.admit(now)
+	}
+
+	var (
+		done simclock.Time
+		err  error
+	)
+	if s.cfg.UseMmap {
+		done, err = s.mmaps[dev].Read(start, buf, off)
+	} else {
+		done, err = s.rings[dev].SubmitSync(start, buf, off, false)
+	}
+	if err != nil {
+		return fmt.Errorf("core: SM read table %d row %d: %w", st.spec.ID, row, err)
+	}
+	if st.throttle != nil {
+		st.throttle.release(done)
+	}
+	if done > res.IODone {
+		res.IODone = done
+	}
+	res.SMReads++
+	s.stats.SMReads++
+	if isZeroRow(buf, st.storedSpec.QType) {
+		s.stats.ZeroRowReads++
+	}
+
+	if !s.cfg.Ring.SGL && !s.cfg.UseMmap {
+		// Without SGL the host reads a whole block into an aligned
+		// bounce buffer and copies the row out — "more than 2X FM BW
+		// needed for every X data pulled in from SM" (§4.3).
+		blk := s.devices[dev].Spec().AccessGranularity
+		if blk > rb {
+			s.stats.FMBytesMoved += uint64(blk + rb)
+			res.CPUTime += perByteCost(costMemcpyPerByteNs, blk+rb)
+		} else {
+			s.stats.FMBytesMoved += uint64(2 * rb)
+			res.CPUTime += perByteCost(costMemcpyPerByteNs, 2*rb)
+		}
+	} else {
+		// SGL lands the row directly in cache storage (§4.3).
+		s.stats.FMBytesMoved += uint64(rb)
+		res.CPUTime += perByteCost(costMemcpyPerByteNs, rb)
+	}
+
+	if st.cacheEnabled && !s.cfg.UseMmap {
+		s.rowCache.Put(key, buf)
+		res.CPUTime += costCachePut
+	}
+	res.CPUTime += perByteCost(costDequantPerByteNs, rb)
+	return quant.AccumulateRow(out, buf, st.storedSpec.QType)
+}
+
+// isZeroRow reports whether a stored row dequantizes to all zeros — used
+// to count the de-pruning cache-pollution effect (§4.5). Zero rows encode
+// with scale=1, bias=0 and zero codes under both int encodings, and as all
+// zero bytes under FP32/FP16, so a byte scan suffices for the int paths.
+func isZeroRow(row []byte, qt quant.Type) bool {
+	switch qt {
+	case quant.Int8, quant.Int4:
+		n := len(row) - 8
+		for _, b := range row[:n] {
+			if b != 0 {
+				return false
+			}
+		}
+		// scale==1, bias==0 → bytes 0,0,128,63 , 0,0,0,0
+		meta := row[n:]
+		return meta[0] == 0 && meta[1] == 0 && meta[2] == 0x80 && meta[3] == 0x3f &&
+			meta[4] == 0 && meta[5] == 0 && meta[6] == 0 && meta[7] == 0
+	default:
+		for _, b := range row {
+			if b != 0 {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// PoolQuery executes every operator of a query and returns the aggregate
+// accounting: the user-side and item-side IO completions separately (so the
+// caller can apply Eq. 3's overlap) and the summed CPU time.
+type QueryResult struct {
+	UserIODone simclock.Time
+	ItemIODone simclock.Time
+	CPUTime    time.Duration
+	SMReads    int
+}
+
+// PoolQuery runs all ops of q at virtual time now, writing pooled outputs
+// into outs (outs[i][b] is op i, pool b; dims must match). Ops are issued
+// concurrently (inter-op parallelism): each op sees the same issue time.
+func (s *Store) PoolQuery(now simclock.Time, q workload.Query, outs [][][]float32) (QueryResult, error) {
+	var res QueryResult
+	res.UserIODone, res.ItemIODone = now, now
+	for i, op := range q.Ops {
+		r, err := s.PoolOp(now, op, outs[i])
+		if err != nil {
+			return res, err
+		}
+		res.CPUTime += r.CPUTime
+		res.SMReads += r.SMReads
+		if op.Table < s.inst.Config.NumUserTables {
+			if r.IODone > res.UserIODone {
+				res.UserIODone = r.IODone
+			}
+		} else {
+			if r.IODone > res.ItemIODone {
+				res.ItemIODone = r.IODone
+			}
+		}
+	}
+	return res, nil
+}
+
+// AllocOutputs builds the output buffers for a query against this store's
+// model (helper for tests, examples and the serving simulator).
+func (s *Store) AllocOutputs(q workload.Query) [][][]float32 {
+	outs := make([][][]float32, len(q.Ops))
+	for i, op := range q.Ops {
+		dim := s.inst.Tables[op.Table].Dim
+		pools := make([][]float32, len(op.Pools))
+		for b := range op.Pools {
+			pools[b] = make([]float32, dim)
+		}
+		outs[i] = pools
+	}
+	return outs
+}

@@ -1,0 +1,475 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"sdm/internal/blockdev"
+	"sdm/internal/cache"
+	"sdm/internal/embedding"
+	"sdm/internal/model"
+	"sdm/internal/placement"
+	"sdm/internal/pooledcache"
+	"sdm/internal/simclock"
+	"sdm/internal/uring"
+)
+
+// Store is the SDM tiered embedding store. It owns the SM devices, the FM
+// row cache, the pooled embedding cache and the per-table placement state,
+// and serves pooled embedding lookups with virtual-time accounting.
+//
+// Store is not safe for concurrent use: the discrete-event simulation that
+// drives it is single-threaded by design.
+type Store struct {
+	cfg   Config
+	inst  *model.Instance
+	clock *simclock.Clock
+
+	devices []*blockdev.Device
+	rings   []*uring.SyncRing
+	mmaps   []*uring.Mmap
+
+	rowCache cache.RowCache
+	pooled   *pooledcache.Cache
+
+	plan   *placement.Plan
+	tables []*tableState
+
+	// loadDone is the virtual time at which model load (SM writes)
+	// finished.
+	loadDone simclock.Time
+
+	stats Stats
+
+	// rowBuf is a scratch buffer sized to the largest SM row.
+	rowBuf []byte
+	// accBuf is a scratch accumulator sized to the largest dim.
+	accBuf []float32
+}
+
+// tableState is the runtime placement of one table.
+type tableState struct {
+	spec         embedding.Spec
+	target       placement.Target
+	cacheEnabled bool
+
+	// fm is set for FM-direct tables.
+	fm *embedding.Table
+
+	// SM layout: rows stripe across devices; row r lives on device
+	// r % numDevices at byte offset base + (r/numDevices)*rowBytes.
+	smBase   []int64 // per device
+	rowBytes int
+	rows     int64
+
+	// storedSpec may differ from spec when DequantAtLoad expands rows to
+	// FP32 (QType and RowBytes change; Rows/Dim stay).
+	storedSpec embedding.Spec
+
+	// mapper is the pruned-index mapping tensor kept in FM (§4.5); nil
+	// when the table is unpruned or was de-pruned at load.
+	mapper []int32
+
+	// throttle caps per-table outstanding IOs.
+	throttle *ioThrottle
+}
+
+// Stats aggregates store counters.
+type Stats struct {
+	Lookups        uint64 // row lookups requested (post pooled-cache)
+	SMReads        uint64 // row reads that went to a device
+	FMDirectReads  uint64 // reads served from FM-direct tables
+	MapperSkips    uint64 // pruned rows resolved to zero via mapper
+	ZeroRowReads   uint64 // de-pruned zero rows actually read (cache pollution)
+	PooledHits     uint64
+	PooledMisses   uint64
+	FMBytesMoved   uint64 // FM bandwidth consumed by the IO path
+	MapperFMBytes  int64  // FM consumed by mapper tensors
+	EffCacheBytes  int64  // FM cache budget after mapper charge
+	CPUTime        time.Duration
+	LoadSMBytes    int64 // bytes written to SM at load
+	LoadDuration   time.Duration
+	DeprunedTables int
+}
+
+// Open loads a model into the SDM store: places tables per the plan,
+// applies the load-time transformations (prune/de-prune/de-quantize),
+// writes SM-resident tables to the devices (accounting write time and
+// endurance), and sizes the FM caches. tables must be the materialized
+// tables of inst (same order).
+func Open(inst *model.Instance, tables []*embedding.Table, cfg Config, clock *simclock.Clock) (*Store, error) {
+	cfg = cfg.Defaulted()
+	if len(tables) != len(inst.Tables) {
+		return nil, fmt.Errorf("core: %d tables for %d specs", len(tables), len(inst.Tables))
+	}
+	plan, err := placement.New(inst, cfg.Placement)
+	if err != nil {
+		return nil, fmt.Errorf("core: placement: %w", err)
+	}
+	s := &Store{cfg: cfg, inst: inst, clock: clock, plan: plan}
+
+	if err := s.loadTables(tables); err != nil {
+		return nil, err
+	}
+	if err := s.buildCaches(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// loadTables applies load-time transformations and writes SM residents.
+func (s *Store) loadTables(tables []*embedding.Table) error {
+	// First pass: transform tables and compute SM footprint.
+	type smLoad struct {
+		idx   int
+		table *embedding.Table
+	}
+	var (
+		loads   []smLoad
+		smBytes int64
+	)
+	s.tables = make([]*tableState, len(tables))
+	for i, t := range tables {
+		st := &tableState{
+			spec:         s.inst.Tables[i],
+			target:       s.plan.Target(i),
+			cacheEnabled: s.plan.CacheEnabled(i),
+		}
+		if s.cfg.PerTableOutstanding > 0 {
+			st.throttle = &ioThrottle{cap: s.cfg.PerTableOutstanding}
+		}
+		if st.target == placement.FM {
+			st.fm = t
+			s.tables[i] = st
+			continue
+		}
+		stored := t
+		if s.cfg.Prune {
+			pruned, err := embedding.PruneZeroRows(t, s.cfg.PruneEps)
+			if err != nil {
+				return fmt.Errorf("core: prune table %d: %w", i, err)
+			}
+			if s.cfg.Deprune {
+				// Algorithm 2: materialize dense, drop the mapper.
+				dt, err := pruned.Deprune()
+				if err != nil {
+					return fmt.Errorf("core: deprune table %d: %w", i, err)
+				}
+				stored = dt
+				s.stats.DeprunedTables++
+			} else {
+				stored = pruned.Dense
+				st.mapper = pruned.Mapper
+				s.stats.MapperFMBytes += pruned.MapperBytes()
+			}
+		}
+		if s.cfg.DequantAtLoad {
+			dq, err := stored.Dequantize()
+			if err != nil {
+				return fmt.Errorf("core: dequantize table %d: %w", i, err)
+			}
+			stored = dq
+		}
+		st.storedSpec = stored.Spec()
+		st.rowBytes = stored.Spec().RowBytes()
+		st.rows = stored.Spec().Rows
+		smBytes += stored.Spec().SizeBytes()
+		loads = append(loads, smLoad{idx: i, table: stored})
+		s.tables[i] = st
+	}
+
+	// Size and create devices.
+	capPerDev := s.cfg.DeviceCapacity
+	if capPerDev <= 0 {
+		capPerDev = smBytes/int64(s.cfg.NumDevices) + smBytes/int64(4*s.cfg.NumDevices) + (4 << 20)
+	}
+	spec := blockdev.Spec(s.cfg.SMTech)
+	s.devices = make([]*blockdev.Device, s.cfg.NumDevices)
+	s.rings = make([]*uring.SyncRing, s.cfg.NumDevices)
+	s.mmaps = make([]*uring.Mmap, s.cfg.NumDevices)
+	for d := range s.devices {
+		s.devices[d] = blockdev.New(spec, capPerDev, s.clock, s.cfg.Seed+uint64(d)*7919)
+		s.rings[d] = uring.NewSync(s.devices[d], s.cfg.Ring)
+		if s.cfg.UseMmap {
+			// The mmap page cache competes for the same FM budget the
+			// row cache would have used.
+			s.mmaps[d] = uring.NewMmap(s.devices[d], s.clock, s.cfg.CacheBytes/int64(s.cfg.NumDevices))
+		}
+	}
+
+	// Second pass: write SM residents, striping rows across devices.
+	cursor := make([]int64, s.cfg.NumDevices)
+	var loadEnd simclock.Time
+	var maxRowBytes, maxDim int
+	for _, ld := range loads {
+		st := s.tables[ld.idx]
+		st.smBase = make([]int64, s.cfg.NumDevices)
+		rb := int64(st.rowBytes)
+		n := int64(s.cfg.NumDevices)
+		rowsPerDev := make([]int64, s.cfg.NumDevices)
+		for d := int64(0); d < n; d++ {
+			rowsPerDev[d] = (st.rows - d + n - 1) / n
+			st.smBase[d] = cursor[d]
+		}
+		// Bulk-write each device's stripe in 1 MiB chunks.
+		data := ld.table.Bytes()
+		for d := int64(0); d < n; d++ {
+			devBytes := rowsPerDev[d] * rb
+			if cursor[d]+devBytes > s.devices[d].Capacity() {
+				return fmt.Errorf("core: device %d overflow loading table %d (need %d, cap %d)",
+					d, ld.idx, cursor[d]+devBytes, s.devices[d].Capacity())
+			}
+			// Gather the stripe rows into a staging buffer.
+			stripe := make([]byte, devBytes)
+			for r := int64(0); r < rowsPerDev[d]; r++ {
+				src := (r*n + d) * rb
+				copy(stripe[r*rb:(r+1)*rb], data[src:src+rb])
+			}
+			const chunk = 1 << 20
+			for off := int64(0); off < devBytes; off += chunk {
+				end := off + chunk
+				if end > devBytes {
+					end = devBytes
+				}
+				t, err := s.devices[d].Write(s.clock.Now(), stripe[off:end], cursor[d]+off)
+				if err != nil {
+					return fmt.Errorf("core: load table %d: %w", ld.idx, err)
+				}
+				if t > loadEnd {
+					loadEnd = t
+				}
+			}
+			cursor[d] += devBytes
+			s.stats.LoadSMBytes += devBytes
+		}
+		if st.rowBytes > maxRowBytes {
+			maxRowBytes = st.rowBytes
+		}
+		if st.storedSpec.Dim > maxDim {
+			maxDim = st.storedSpec.Dim
+		}
+	}
+	for _, st := range s.tables {
+		if st.fm != nil && st.spec.Dim > maxDim {
+			maxDim = st.spec.Dim
+		}
+	}
+	if maxRowBytes < 4096 {
+		maxRowBytes = 4096
+	}
+	s.rowBuf = make([]byte, maxRowBytes)
+	s.accBuf = make([]float32, maxDim+1)
+	s.loadDone = loadEnd
+	s.stats.LoadDuration = loadEnd.Duration()
+	return nil
+}
+
+// buildCaches sizes the FM caches after mapper tensors take their cut.
+func (s *Store) buildCaches() error {
+	eff := s.cfg.CacheBytes - s.stats.MapperFMBytes - s.cfg.PooledCacheBytes
+	if eff < 1<<12 {
+		eff = 1 << 12
+	}
+	s.stats.EffCacheBytes = eff
+	slot := s.memOptSlotBytes()
+	mk := func(budget int64) cache.RowCache {
+		switch s.cfg.CacheKind {
+		case CacheMemOptimized:
+			return cache.NewMemOptimized(budget, slot)
+		case CacheCPUOptimized:
+			return cache.NewCPUOptimized(budget)
+		default:
+			// Split the dual budget by where rows will actually land.
+			memShare, cpuShare := s.dualShares(budget)
+			return cache.NewDual(memShare, cpuShare, slot)
+		}
+	}
+	if s.cfg.CachePartitions > 1 {
+		p, err := cache.NewPartitioned(s.cfg.CachePartitions, eff, mk)
+		if err != nil {
+			return err
+		}
+		s.rowCache = p
+	} else {
+		s.rowCache = mk(eff)
+	}
+	if s.cfg.PooledCacheBytes > 0 {
+		s.pooled = pooledcache.New(s.cfg.pooledConfig())
+	}
+	return nil
+}
+
+// memOptSlotBytes sizes memory-optimized cache slots to the largest
+// small-row SM table instead of the routing threshold, so fixed slots do
+// not waste slab space when rows are much smaller than 255 B.
+func (s *Store) memOptSlotBytes() int {
+	slot := 0
+	for _, st := range s.tables {
+		if st.target != placement.SM {
+			continue
+		}
+		if st.rowBytes <= s.cfg.CacheSplitBytes && st.rowBytes > slot {
+			slot = st.rowBytes
+		}
+	}
+	if slot == 0 {
+		slot = s.cfg.CacheSplitBytes
+	}
+	return slot
+}
+
+// dualShares splits a dual-cache budget proportionally to the SM bytes of
+// small-row vs large-row tables, so neither side is starved.
+func (s *Store) dualShares(budget int64) (memB, cpuB int64) {
+	var small, large int64
+	for _, st := range s.tables {
+		if st.target != placement.SM {
+			continue
+		}
+		if st.rowBytes <= s.cfg.CacheSplitBytes {
+			small += st.storedSpec.SizeBytes()
+		} else {
+			large += st.storedSpec.SizeBytes()
+		}
+	}
+	total := small + large
+	if total == 0 {
+		return budget / 2, budget / 2
+	}
+	memB = int64(float64(budget) * float64(small) / float64(total))
+	if memB < 1<<12 {
+		memB = 1 << 12
+	}
+	cpuB = budget - memB
+	if cpuB < 1<<12 {
+		cpuB = 1 << 12
+	}
+	return memB, cpuB
+}
+
+// Config returns the (defaulted) store configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Instance returns the model instance being served.
+func (s *Store) Instance() *model.Instance { return s.inst }
+
+// Plan returns the placement plan in effect.
+func (s *Store) Plan() *placement.Plan { return s.plan }
+
+// LoadDone returns the virtual time at which model load completed.
+func (s *Store) LoadDone() simclock.Time { return s.loadDone }
+
+// Stats returns a snapshot of store counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// CacheStats returns the FM row-cache counters.
+func (s *Store) CacheStats() cache.Stats { return s.rowCache.Stats() }
+
+// PooledStats returns the pooled-cache counters (zero if disabled).
+func (s *Store) PooledStats() pooledcache.Stats {
+	if s.pooled == nil {
+		return pooledcache.Stats{}
+	}
+	return s.pooled.Stats()
+}
+
+// DeviceStats sums the counters across SM devices.
+func (s *Store) DeviceStats() blockdev.Stats {
+	var agg blockdev.Stats
+	for _, d := range s.devices {
+		ds := d.Stats()
+		agg.Reads += ds.Reads
+		agg.Writes += ds.Writes
+		agg.MediaBytes += ds.MediaBytes
+		agg.BusBytes += ds.BusBytes
+		agg.RequestedBytes += ds.RequestedBytes
+		agg.TailEvents += ds.TailEvents
+		agg.BytesWritten += ds.BytesWritten
+	}
+	return agg
+}
+
+// RingStats sums the IO-ring counters across devices.
+func (s *Store) RingStats() uring.Stats {
+	var agg uring.Stats
+	for _, r := range s.rings {
+		rs := r.Stats()
+		agg.Submitted += rs.Submitted
+		agg.Completed += rs.Completed
+		agg.Errors += rs.Errors
+		agg.CPUTime += rs.CPUTime
+		if rs.PeakInflight > agg.PeakInflight {
+			agg.PeakInflight = rs.PeakInflight
+		}
+	}
+	return agg
+}
+
+// ResetRuntimeStats clears per-run counters (not load accounting) so a
+// steady-state window can be measured after warmup.
+func (s *Store) ResetRuntimeStats() {
+	mapperFM := s.stats.MapperFMBytes
+	eff := s.stats.EffCacheBytes
+	loadB := s.stats.LoadSMBytes
+	loadD := s.stats.LoadDuration
+	dep := s.stats.DeprunedTables
+	s.stats = Stats{
+		MapperFMBytes: mapperFM, EffCacheBytes: eff,
+		LoadSMBytes: loadB, LoadDuration: loadD, DeprunedTables: dep,
+	}
+	for _, d := range s.devices {
+		d.ResetStats()
+	}
+	// Cache contents survive (warm cache); only counters reset.
+	// RowCache has no counter-only reset, so track via snapshot deltas
+	// instead when needed; here we leave cache stats cumulative.
+}
+
+// smLocation returns the device and offset of row r of table state st.
+func (s *Store) smLocation(st *tableState, r int64) (dev int, off int64) {
+	n := int64(s.cfg.NumDevices)
+	dev = int(r % n)
+	off = st.smBase[dev] + (r/n)*int64(st.rowBytes)
+	return dev, off
+}
+
+// ioThrottle caps per-table outstanding IOs using completion timestamps.
+type ioThrottle struct {
+	cap      int
+	inflight timeHeapCore
+}
+
+// admit returns the earliest start time for a new IO issued at now and
+// records completion bookkeeping via release.
+func (t *ioThrottle) admit(now simclock.Time) simclock.Time {
+	for len(t.inflight) > 0 && t.inflight[0] <= now {
+		heap.Pop(&t.inflight)
+	}
+	start := now
+	for len(t.inflight) >= t.cap {
+		v := heap.Pop(&t.inflight).(simclock.Time)
+		if v > start {
+			start = v
+		}
+	}
+	return start
+}
+
+func (t *ioThrottle) release(done simclock.Time) {
+	heap.Push(&t.inflight, done)
+}
+
+type timeHeapCore []simclock.Time
+
+func (h timeHeapCore) Len() int           { return len(h) }
+func (h timeHeapCore) Less(i, j int) bool { return h[i] < h[j] }
+func (h timeHeapCore) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timeHeapCore) Push(x any)        { *h = append(*h, x.(simclock.Time)) }
+func (h *timeHeapCore) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sdm/internal/blockdev"
+	"sdm/internal/cache"
+	"sdm/internal/placement"
+	"sdm/internal/simclock"
+)
+
+// UpdateMode selects how new weights stream in while the host serves
+// traffic (§A.3).
+type UpdateMode int
+
+// Update modes from §A.3.
+const (
+	// UpdateOffline writes straight to SM with the host out of rotation:
+	// no read/write mixing (which "would considerably impact performance
+	// of Nand flash"), but the host serves nothing meanwhile.
+	UpdateOffline UpdateMode = iota + 1
+	// UpdateOnline updates the FM cache first (dirty entries) and lets
+	// write-back drain to SM, keeping the host serving.
+	UpdateOnline
+)
+
+// UpdateRow applies one incremental row update at virtual time now.
+// The row value must already be encoded in the table's stored QType.
+func (s *Store) UpdateRow(now simclock.Time, table int, row int64, value []byte, mode UpdateMode) (simclock.Time, error) {
+	if table < 0 || table >= len(s.tables) {
+		return now, fmt.Errorf("core: update table %d out of range", table)
+	}
+	st := s.tables[table]
+	if st.target == placement.FM {
+		// FM tables update in place.
+		dst, err := st.fm.Row(row)
+		if err != nil {
+			return now, err
+		}
+		if len(value) != len(dst) {
+			return now, fmt.Errorf("core: update row size %d, want %d", len(value), len(dst))
+		}
+		copy(dst, value)
+		return now, nil
+	}
+	if st.mapper != nil {
+		m := st.mapper[row]
+		if m < 0 {
+			return now, fmt.Errorf("core: cannot update pruned row %d of table %d", row, table)
+		}
+		row = int64(m)
+	}
+	if len(value) != st.rowBytes {
+		return now, fmt.Errorf("core: update row size %d, want %d", len(value), st.rowBytes)
+	}
+	key := cache.Key{Table: int32(st.spec.ID), Row: row}
+	switch mode {
+	case UpdateOnline:
+		// Cache-first: readers see the new value immediately; SM is
+		// refreshed by FlushUpdates.
+		s.rowCache.PutDirty(key, value)
+		return now, nil
+	default:
+		dev, off := s.smLocation(st, row)
+		done, err := s.devices[dev].Write(now, value, off)
+		if err != nil {
+			return now, err
+		}
+		// Invalidate (overwrite) any stale cached copy.
+		if st.cacheEnabled {
+			s.rowCache.Put(key, value)
+		}
+		return done, nil
+	}
+}
+
+// FlushUpdates drains dirty cache entries to SM (the §A.3 write-back path)
+// and returns the completion time of the last write.
+func (s *Store) FlushUpdates(now simclock.Time) (simclock.Time, error) {
+	done := now
+	var firstErr error
+	s.rowCache.FlushDirty(func(k cache.Key, v []byte) {
+		st := s.tableByID(k.Table)
+		if st == nil || st.target != placement.SM {
+			return
+		}
+		dev, off := s.smLocation(st, k.Row)
+		t, err := s.devices[dev].Write(now, v, off)
+		if err != nil && firstErr == nil {
+			firstErr = err
+			return
+		}
+		if t > done {
+			done = t
+		}
+	})
+	return done, firstErr
+}
+
+func (s *Store) tableByID(id int32) *tableState {
+	for _, st := range s.tables {
+		if int32(st.spec.ID) == id {
+			return st
+		}
+	}
+	return nil
+}
+
+// UpdateIntervalLimit returns the minimum model-update interval the SM
+// endurance supports (§3's endurance equation) given the store's devices
+// and the SM-resident model bytes.
+func (s *Store) UpdateIntervalLimit() time.Duration {
+	var modelBytes, capBytes int64
+	for _, st := range s.tables {
+		if st.target == placement.SM {
+			modelBytes += st.storedSpec.SizeBytes()
+		}
+	}
+	for _, d := range s.devices {
+		capBytes += d.Capacity()
+	}
+	return blockdev.UpdateInterval(modelBytes, capBytes, blockdev.Spec(s.cfg.SMTech).EnduranceDWPD)
+}
+
+// WarmupOverprovision computes §A.4's capacity over-provisioning needed to
+// offset post-update cold-cache slowdown: (r·w)/(p·t), where r is the
+// fraction of hosts updating at a time, w the warmup duration, p the
+// relative performance during warmup, and t the update interval.
+func WarmupOverprovision(r, p float64, warmup, interval time.Duration) float64 {
+	if p <= 0 || interval <= 0 {
+		return 0
+	}
+	return (r * warmup.Seconds()) / (p * interval.Seconds())
+}

@@ -1,0 +1,198 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+
+	"sdm/internal/quant"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		ID: 1, Name: "t1", Rows: 200, Dim: 32, QType: quant.Int8,
+		Kind: User, PoolingFactor: 8, Alpha: 1.0, ZeroFrac: 0.3,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := smallSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{}, // everything zero
+		{ID: 1, Rows: 0, Dim: 4, QType: quant.Int8, Kind: User},
+		{ID: 1, Rows: 4, Dim: 0, QType: quant.Int8, Kind: User},
+		{ID: 1, Rows: 4, Dim: 4, Kind: User},
+		{ID: 1, Rows: 4, Dim: 4, QType: quant.Int8},
+		{ID: 1, Rows: 4, Dim: 4, QType: quant.Int8, Kind: User, PoolingFactor: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestSpecSizes(t *testing.T) {
+	s := smallSpec()
+	if s.RowBytes() != 40 {
+		t.Fatalf("row bytes %d", s.RowBytes())
+	}
+	if s.SizeBytes() != 200*40 {
+		t.Fatalf("size %d", s.SizeBytes())
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a, err := NewSynthetic(smallSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSynthetic(smallSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Bytes()) != string(b.Bytes()) {
+		t.Fatal("same seed must produce identical tables")
+	}
+	c, err := NewSynthetic(smallSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Bytes()) == string(c.Bytes()) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestZeroFracRowsPresent(t *testing.T) {
+	tb, err := NewSynthetic(smallSpec(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float32, 32)
+	zeros := 0
+	for r := int64(0); r < 200; r++ {
+		if err := tb.DequantizeRow(row, r); err != nil {
+			t.Fatal(err)
+		}
+		allZero := true
+		for _, v := range row {
+			if v != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			zeros++
+		}
+	}
+	// ZeroFrac 0.3 of 200 rows ≈ 60 ± sampling noise.
+	if zeros < 35 || zeros > 90 {
+		t.Fatalf("zero rows %d, want ≈60", zeros)
+	}
+}
+
+func TestRowRangeErrors(t *testing.T) {
+	tb, err := NewSynthetic(smallSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Row(-1); err == nil {
+		t.Fatal("negative row should fail")
+	}
+	if _, err := tb.Row(200); err == nil {
+		t.Fatal("row == Rows should fail")
+	}
+}
+
+func TestPoolMatchesManual(t *testing.T) {
+	tb, err := NewSynthetic(smallSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indices := []int64{0, 5, 5, 199, 42}
+	out := make([]float32, 32)
+	if err := tb.Pool(out, indices); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float32, 32)
+	row := make([]float32, 32)
+	for _, idx := range indices {
+		if err := tb.DequantizeRow(row, idx); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			want[i] += row[i]
+		}
+	}
+	for i := range want {
+		if math.Abs(float64(out[i]-want[i])) > 1e-5 {
+			t.Fatalf("pool mismatch at %d: %g vs %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestPoolEmptyIndices(t *testing.T) {
+	tb, err := NewSynthetic(smallSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := []float32{1, 2, 3}
+	out = append(out, make([]float32, 29)...)
+	if err := tb.Pool(out, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("empty pool must zero the output")
+		}
+	}
+}
+
+func TestDequantizeTable(t *testing.T) {
+	tb, err := NewSynthetic(smallSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq, err := tb.Dequantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dq.Spec().QType != quant.FP32 {
+		t.Fatal("dequantized table should be FP32")
+	}
+	if dq.Spec().SizeBytes() <= tb.Spec().SizeBytes() {
+		t.Fatal("FP32 expansion should grow the table (§A.5 SM cost)")
+	}
+	// Values must match the quantized decode exactly.
+	a, b := make([]float32, 32), make([]float32, 32)
+	for r := int64(0); r < 200; r += 17 {
+		if err := tb.DequantizeRow(a, r); err != nil {
+			t.Fatal(err)
+		}
+		if err := dq.DequantizeRow(b, r); err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("row %d element %d: %g vs %g", r, i, a[i], b[i])
+			}
+		}
+	}
+	// FP32 tables dequantize to a copy, not an alias.
+	dq2, err := dq.Dequantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq2.Bytes()[0] ^= 0xff
+	if dq.Bytes()[0] == dq2.Bytes()[0] {
+		t.Fatal("Dequantize of FP32 must return an independent copy")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if User.String() != "user" || Item.String() != "item" {
+		t.Fatal("kind names")
+	}
+}

@@ -1,0 +1,162 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+)
+
+func prunedFixture(t *testing.T) (*Table, *Pruned) {
+	t.Helper()
+	tb, err := NewSynthetic(smallSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PruneZeroRows(tb, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, p
+}
+
+func TestPruneRemovesOnlyZeroRows(t *testing.T) {
+	tb, p := prunedFixture(t)
+	if p.KeptRows() >= tb.Spec().Rows {
+		t.Fatalf("pruning kept all %d rows; ZeroFrac rows should go", p.KeptRows())
+	}
+	row := make([]float32, tb.Spec().Dim)
+	for r := int64(0); r < tb.Spec().Rows; r++ {
+		if err := tb.DequantizeRow(row, r); err != nil {
+			t.Fatal(err)
+		}
+		isZero := true
+		for _, v := range row {
+			if v != 0 {
+				isZero = false
+				break
+			}
+		}
+		if isZero && p.Mapper[r] != PrunedRow {
+			t.Fatalf("zero row %d not pruned", r)
+		}
+		if !isZero && p.Mapper[r] == PrunedRow {
+			t.Fatalf("non-zero row %d was pruned", r)
+		}
+	}
+}
+
+func TestMapperDense(t *testing.T) {
+	_, p := prunedFixture(t)
+	// Mapper targets must be a 0..kept-1 bijection in order.
+	next := int32(0)
+	for r, m := range p.Mapper {
+		if m == PrunedRow {
+			continue
+		}
+		if m != next {
+			t.Fatalf("mapper[%d] = %d, want %d", r, m, next)
+		}
+		next++
+	}
+	if int64(next) != p.KeptRows() {
+		t.Fatalf("kept %d vs mapper %d", p.KeptRows(), next)
+	}
+	if p.MapperBytes() != int64(len(p.Mapper))*4 {
+		t.Fatal("mapper bytes accounting")
+	}
+}
+
+func TestPrunedLookup(t *testing.T) {
+	_, p := prunedFixture(t)
+	if _, _, err := p.Lookup(-1); err == nil {
+		t.Fatal("negative index should fail")
+	}
+	if _, _, err := p.Lookup(int64(len(p.Mapper))); err == nil {
+		t.Fatal("out-of-range index should fail")
+	}
+	var sawPruned, sawKept bool
+	for r := int64(0); r < int64(len(p.Mapper)); r++ {
+		_, ok, err := p.Lookup(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			sawKept = true
+		} else {
+			sawPruned = true
+		}
+	}
+	if !sawPruned || !sawKept {
+		t.Fatal("fixture should contain both pruned and kept rows")
+	}
+}
+
+func TestPrunedPoolMatchesOracle(t *testing.T) {
+	tb, p := prunedFixture(t)
+	indices := []int64{0, 3, 7, 100, 150, 199, 3}
+	want := make([]float32, tb.Spec().Dim)
+	if err := tb.Pool(want, indices); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, tb.Spec().Dim)
+	if err := p.Pool(got, indices); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(float64(want[i]-got[i])) > 1e-5 {
+			t.Fatalf("pruned pool mismatch at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDepruneRoundTrip(t *testing.T) {
+	tb, p := prunedFixture(t)
+	dt, err := p.Deprune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Spec().Rows != tb.Spec().Rows {
+		t.Fatalf("depruned rows %d, want %d", dt.Spec().Rows, tb.Spec().Rows)
+	}
+	// Every row must decode identically to the original (zero rows
+	// included — Algorithm 2 materializes explicit zeros).
+	a, b := make([]float32, tb.Spec().Dim), make([]float32, tb.Spec().Dim)
+	for r := int64(0); r < tb.Spec().Rows; r++ {
+		if err := tb.DequantizeRow(a, r); err != nil {
+			t.Fatal(err)
+		}
+		if err := dt.DequantizeRow(b, r); err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("deprune row %d element %d: %g vs %g", r, i, b[i], a[i])
+			}
+		}
+	}
+	// §4.5: de-pruned SM footprint exceeds the pruned dense table.
+	if dt.Spec().SizeBytes() <= p.Dense.Spec().SizeBytes() {
+		t.Fatal("deprune must grow the SM footprint")
+	}
+}
+
+func TestPruneAllZeroTable(t *testing.T) {
+	spec := smallSpec()
+	spec.ZeroFrac = 1.0
+	tb, err := NewSynthetic(spec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PruneZeroRows(tb, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, spec.Dim)
+	if err := p.Pool(out, []int64{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("all-pruned pool should be zero")
+		}
+	}
+}

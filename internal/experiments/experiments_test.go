@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quick returns a very small scale for fast tests.
+func quick() Scale {
+	return Scale{ModelScale: 1.5e-6, Queries: 120, Seed: 7}
+}
+
+func runExp(t *testing.T, id string) Result {
+	t.Helper()
+	res, err := Run(id, quick())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatalf("%s printed nothing", id)
+	}
+	if res.ID() != id {
+		t.Fatalf("id mismatch: %s vs %s", res.ID(), id)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the evaluation must have a runner.
+	want := []string{
+		"fig1", "tab1", "fig3", "tab2", "fig4", "fig5", "fig6",
+		"tab3", "tab4", "tab8", "tab9", "tab10", "tab11",
+		"sgl", "mmap", "deprune", "dequant", "interop", "polling", "warmup", "update",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
+	}
+	for _, id := range want {
+		if Title(id) == "" {
+			t.Errorf("missing title for %s", id)
+		}
+	}
+	if _, err := Run("nope", quick()); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	res := runExp(t, "fig1").(*Fig1Result)
+	if res.LowBWCapacityFrac < 0.3 {
+		t.Fatalf("low-BW capacity fraction %.2f; Fig. 1 expects the majority of capacity at low BW", res.LowBWCapacityFrac)
+	}
+	if res.UserBytes <= 0 || res.TotalBytes <= res.UserBytes {
+		t.Fatalf("byte accounting: user=%d total=%d", res.UserBytes, res.TotalBytes)
+	}
+}
+
+func TestTab1(t *testing.T) {
+	var buf bytes.Buffer
+	runExp(t, "tab1").Print(&buf)
+	for _, name := range []string{"Nand", "Optane", "ZSSD", "CXL"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("catalog missing %s", name)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	res := runExp(t, "fig3").(*Fig3Result)
+	nand := res.Curves["PCIe Nand Flash"]
+	opt := res.Curves["PCIe 3DXP (Optane)"]
+	if len(nand) == 0 || len(opt) == 0 {
+		t.Fatal("missing curves")
+	}
+	// Fig. 3 shape: Optane latency at its knee far below Nand's.
+	if opt[0].MeanLatency >= nand[0].MeanLatency {
+		t.Fatalf("Optane low-load latency %v should undercut Nand %v",
+			opt[0].MeanLatency, nand[0].MeanLatency)
+	}
+	// Latency must rise toward the ceiling for both.
+	if nand[len(nand)-1].MeanLatency <= nand[0].MeanLatency {
+		t.Fatal("Nand latency should rise with load")
+	}
+	// Optane's achievable IOPS ≫ Nand's.
+	if opt[len(opt)-1].AchievedIOPS < 4*nand[len(nand)-1].AchievedIOPS {
+		t.Fatalf("Optane IOPS %f should be several times Nand %f",
+			opt[len(opt)-1].AchievedIOPS, nand[len(nand)-1].AchievedIOPS)
+	}
+}
+
+func TestTab2(t *testing.T) { runExp(t, "tab2") }
+
+func TestFig4Shape(t *testing.T) {
+	res := runExp(t, "fig4").(*Fig4Result)
+	last := len(res.UserCDF) - 1
+	if res.UserCDF[last] < 0.99 || res.ItemCDF[last] < 0.99 {
+		t.Fatal("CDFs must reach 1.0 at full population")
+	}
+	// Item locality > user locality at the 10% point (index of 0.1).
+	idx10 := -1
+	for i, f := range []float64{0.0001, 0.001, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0} {
+		if f == 0.1 {
+			idx10 = i
+		}
+	}
+	if res.ItemCDF[idx10] <= res.UserCDF[idx10] {
+		t.Fatalf("item CDF %.3f should exceed user %.3f at 10%% rows",
+			res.ItemCDF[idx10], res.UserCDF[idx10])
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	res := runExp(t, "fig5").(*Fig5Result)
+	if res.AvgUser <= 0 || res.AvgItem <= 0 {
+		t.Fatal("missing averages")
+	}
+	// Fig. 5: low spatial locality overall.
+	if res.AvgUser > 0.6 {
+		t.Fatalf("user spatial locality %.2f too high for the Fig. 5 regime", res.AvgUser)
+	}
+}
+
+func TestTab3(t *testing.T) { runExp(t, "tab3") }
+func TestTab4(t *testing.T) { runExp(t, "tab4") }
+
+func TestTab8Shape(t *testing.T) {
+	res := runExp(t, "tab8").(*Tab8Result)
+	// Table 8's qualitative claims: the small host sustains a usable
+	// fraction of the big host's QPS, and the fleet saves power.
+	if res.SDMQPS <= 0 || res.BaselineQPS <= 0 {
+		t.Fatal("QPS measurements missing")
+	}
+	if res.SDMQPS > res.BaselineQPS {
+		t.Fatalf("SDM on the small host (%.0f) should not beat the big DRAM host (%.0f)",
+			res.SDMQPS, res.BaselineQPS)
+	}
+	if res.Saving <= 0 {
+		t.Fatalf("SDM fleet should save power, got %.2f", res.Saving)
+	}
+	if res.HitRate < 0.5 {
+		t.Fatalf("steady-state hit rate %.2f too low", res.HitRate)
+	}
+}
+
+func TestTab9Shape(t *testing.T) {
+	res := runExp(t, "tab9").(*Tab9Result)
+	// Table 9's qualitative claim: Optane sustains more QPS than Nand.
+	if res.OptaneQPS <= res.NandQPS {
+		t.Fatalf("Optane QPS %.0f should exceed Nand %.0f", res.OptaneQPS, res.NandQPS)
+	}
+}
+
+func TestTab10(t *testing.T) {
+	var buf bytes.Buffer
+	runExp(t, "tab10").Print(&buf)
+	if !strings.Contains(buf.String(), "M3") {
+		t.Fatal("missing M3 row")
+	}
+}
+
+func TestTab11(t *testing.T) { runExp(t, "tab11") }
+
+func TestSGLShape(t *testing.T) {
+	res := runExp(t, "sgl").(*SGLResult)
+	if res.BusSavings < 0.5 {
+		t.Fatalf("bus savings %.2f too low (paper: ~75%%)", res.BusSavings)
+	}
+	if res.FMTrafficRatio < 2 {
+		t.Fatalf("FM traffic ratio %.2f, want >2x (paper §4.3)", res.FMTrafficRatio)
+	}
+	if res.LatencySaving <= 0 {
+		t.Fatalf("SGL should save latency, got %.3f", res.LatencySaving)
+	}
+}
+
+func TestMmapShape(t *testing.T) {
+	res := runExp(t, "mmap").(*MmapResult)
+	if res.LatencyRatio < 1.5 {
+		t.Fatalf("mmap latency ratio %.1f, want ≈3x (paper §4.1)", res.LatencyRatio)
+	}
+}
+
+func TestDepruneShape(t *testing.T) {
+	res := runExp(t, "deprune").(*DepruneResult)
+	if res.ExtraRequestFrac <= 0 || res.ExtraRequestFrac > 0.5 {
+		t.Fatalf("extra requests %.3f outside the plausible band (paper: +2.5%%)", res.ExtraRequestFrac)
+	}
+	if res.CacheGainFrac <= 0 {
+		t.Fatalf("deprune must enlarge the cache budget, got %.3f", res.CacheGainFrac)
+	}
+}
+
+func TestDequantShape(t *testing.T) {
+	res := runExp(t, "dequant").(*DequantResult)
+	if res.SMGrowth <= 0 {
+		t.Fatal("fp32 expansion must grow SM")
+	}
+}
+
+func TestInterOpShape(t *testing.T) {
+	res := runExp(t, "interop").(*InterOpResult)
+	if res.LatencyReduction <= 0 {
+		t.Fatalf("inter-op must reduce latency, got %.3f", res.LatencyReduction)
+	}
+}
+
+func TestPollingShape(t *testing.T) {
+	res := runExp(t, "polling").(*PollingResult)
+	if res.Gain < 0.3 || res.Gain > 0.7 {
+		t.Fatalf("polling gain %.2f, want ≈0.5", res.Gain)
+	}
+}
+
+func TestWarmup(t *testing.T) { runExp(t, "warmup") }
+
+func TestUpdate(t *testing.T) {
+	var buf bytes.Buffer
+	runExp(t, "update").Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Nand") || !strings.Contains(out, "Optane") {
+		t.Fatal("update experiment should compare Nand and Optane")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 runs several QPS searches")
+	}
+	runExp(t, "fig6")
+}
+
+func TestScalePresets(t *testing.T) {
+	d, f := Default(), Full()
+	if d.Queries >= f.Queries || d.ModelScale >= f.ModelScale {
+		t.Fatal("Full must exceed Default")
+	}
+	if d.ModelScale <= 0 {
+		t.Fatal("bad default scale")
+	}
+	_ = time.Now // keep time import meaningful if unused elsewhere
+}

@@ -1,0 +1,200 @@
+package pooledcache
+
+import "sort"
+
+// ProfileScheme identifies one row of the paper's Table 3 subsequence
+// profiling study.
+type ProfileScheme int
+
+// Schemes from Table 3.
+const (
+	// SchemeC10 profiles length-10 subsequences of each request. The
+	// full enumeration is O(C(avgP,10)) candidate subsequences — the
+	// "Generated sequences" column — which is why the paper deems it
+	// prohibitive; the profiler detects repeats through a canonical
+	// representative (the query's 10 most popular indices), which lower-
+	// bounds the enumerating scheme's hit rate at O(1) profiling cost.
+	SchemeC10 ProfileScheme = iota + 1
+	// SchemeC10Top is SchemeC10 restricted to the globally most frequent
+	// indices (O(100) distinct generated sequences).
+	SchemeC10Top
+	// SchemeCP profiles only the full sequence (c = P) — the scheme the
+	// production pooled cache implements (Algorithm 1).
+	SchemeCP
+)
+
+// String returns the scheme name.
+func (s ProfileScheme) String() string {
+	switch s {
+	case SchemeC10:
+		return "c=10"
+	case SchemeC10Top:
+		return "c=10, top indices"
+	case SchemeCP:
+		return "c=P"
+	default:
+		return "unknown"
+	}
+}
+
+// ProfileResult is one Table 3 row: the fraction of queries with at least
+// one subsequence hit, and how many candidate subsequences the scheme
+// implies per query (the scheme's overhead).
+type ProfileResult struct {
+	Scheme          ProfileScheme
+	HitRate         float64
+	GeneratedPerQry float64
+}
+
+// profileC is the paper's profiled subsequence length.
+const profileC = 10
+
+// Profile replays a stream of per-query index sequences against the given
+// scheme and reports hit rate and generated-sequence overhead, reproducing
+// Table 3. topK sets the frequent-index vocabulary for SchemeC10Top.
+// Popularity is estimated from the stream itself (first pass), standing in
+// for the paper's production index-frequency profiles.
+func Profile(queries [][]int64, scheme ProfileScheme, topK int, seed uint64) ProfileResult {
+	seen := make(map[uint64]struct{}, len(queries))
+	var hits int
+	var generated float64
+
+	var freq map[int64]int
+	var topSet map[int64]struct{}
+	if scheme == SchemeC10 || scheme == SchemeC10Top {
+		freq = indexFrequencies(queries)
+	}
+	if scheme == SchemeC10Top {
+		if topK <= 0 {
+			topK = 100
+		}
+		topSet = topIndices(freq, topK)
+	}
+
+	scratch := make([]int64, 0, 64)
+	for _, q := range queries {
+		switch scheme {
+		case SchemeCP:
+			generated++
+			h := HashIndices(q)
+			if _, ok := seen[h]; ok {
+				hits++
+			}
+			seen[h] = struct{}{}
+
+		case SchemeC10:
+			if len(q) < profileC {
+				continue
+			}
+			// True cost of enumerating all length-10 subsequences.
+			generated += binomialApprox(len(q), profileC)
+			// Canonical representative: the 10 most frequent indices of
+			// the query (ties broken by index), sorted.
+			scratch = canonicalTop(scratch[:0], q, freq, nil, profileC)
+			h := HashIndices(scratch)
+			if _, ok := seen[h]; ok {
+				hits++
+			}
+			seen[h] = struct{}{}
+
+		case SchemeC10Top:
+			// Only indices from the hot vocabulary participate.
+			scratch = canonicalTop(scratch[:0], q, freq, topSet, profileC)
+			if len(scratch) < profileC {
+				continue
+			}
+			generated++
+			h := HashIndices(scratch)
+			if _, ok := seen[h]; ok {
+				hits++
+			}
+			seen[h] = struct{}{}
+		}
+	}
+	n := float64(len(queries))
+	if n == 0 {
+		n = 1
+	}
+	return ProfileResult{
+		Scheme:          scheme,
+		HitRate:         float64(hits) / n,
+		GeneratedPerQry: generated / n,
+	}
+}
+
+// canonicalTop writes into dst the up-to-c most frequent indices of q
+// (restricted to allow when non-nil), sorted ascending for a canonical
+// representation.
+func canonicalTop(dst, q []int64, freq map[int64]int, allow map[int64]struct{}, c int) []int64 {
+	for _, idx := range q {
+		if allow != nil {
+			if _, ok := allow[idx]; !ok {
+				continue
+			}
+		}
+		dst = append(dst, idx)
+	}
+	sort.Slice(dst, func(i, j int) bool {
+		fi, fj := freq[dst[i]], freq[dst[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return dst[i] < dst[j]
+	})
+	if len(dst) > c {
+		dst = dst[:c]
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
+}
+
+func indexFrequencies(queries [][]int64) map[int64]int {
+	freq := make(map[int64]int)
+	for _, q := range queries {
+		for _, idx := range q {
+			freq[idx]++
+		}
+	}
+	return freq
+}
+
+func topIndices(freq map[int64]int, k int) map[int64]struct{} {
+	type kv struct {
+		idx int64
+		n   int
+	}
+	all := make([]kv, 0, len(freq))
+	for idx, n := range freq {
+		all = append(all, kv{idx, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].idx < all[j].idx
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	set := make(map[int64]struct{}, k)
+	for _, e := range all[:k] {
+		set[e.idx] = struct{}{}
+	}
+	return set
+}
+
+// binomialApprox returns min(C(n, k), 1e12) as float to report the
+// generated-sequence blow-up without overflow.
+func binomialApprox(n, k int) float64 {
+	if k > n {
+		return 0
+	}
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res *= float64(n-i) / float64(i+1)
+		if res > 1e12 {
+			return 1e12
+		}
+	}
+	return res
+}

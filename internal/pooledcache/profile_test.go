@@ -1,0 +1,122 @@
+package pooledcache
+
+import (
+	"testing"
+
+	"sdm/internal/xrand"
+)
+
+// syntheticQueries builds a query stream shaped like the paper's profiled
+// production traffic: a small fraction of queries are exact repeats of
+// earlier sequences (popular users re-querying, Table 3's c=P hits), a
+// larger fraction are partial repeats sharing most indices with an earlier
+// query (feature churn — catchable only by subsequence schemes), and the
+// rest are fresh.
+func syntheticQueries(n, pf int, fullFrac, partialFrac float64, seed uint64) [][]int64 {
+	rng := xrand.New(seed)
+	zip := xrand.NewZipf(1<<20, 1.05)
+	fresh := func() []int64 {
+		q := make([]int64, pf)
+		for j := range q {
+			q[j] = zip.Rank(rng)
+		}
+		return q
+	}
+	var out [][]int64
+	for i := 0; i < n; i++ {
+		r := rng.Float64()
+		switch {
+		case len(out) > 0 && r < fullFrac:
+			out = append(out, out[rng.Intn(len(out))])
+		case len(out) > 0 && r < fullFrac+partialFrac:
+			src := out[rng.Intn(len(out))]
+			q := make([]int64, pf)
+			keep := pf * 9 / 10
+			copy(q, src[:keep])
+			for j := keep; j < pf; j++ {
+				q[j] = zip.Rank(rng)
+			}
+			out = append(out, q)
+		default:
+			out = append(out, fresh())
+		}
+	}
+	return out
+}
+
+func TestProfileCPDetectsRepeats(t *testing.T) {
+	qs := syntheticQueries(5000, 20, 0.05, 0, 1)
+	res := Profile(qs, SchemeCP, 0, 1)
+	// ~5% of queries are repeats; c=P should find roughly that many
+	// (Table 3's 5% row).
+	if res.HitRate < 0.02 || res.HitRate > 0.12 {
+		t.Fatalf("c=P hit rate %.3f, want ≈0.05", res.HitRate)
+	}
+	if res.GeneratedPerQry != 1 {
+		t.Fatalf("c=P generates exactly 1 sequence per query, got %g", res.GeneratedPerQry)
+	}
+}
+
+func TestProfileC10HigherHitHigherCost(t *testing.T) {
+	qs := syntheticQueries(4000, 20, 0.05, 0.25, 2)
+	cp := Profile(qs, SchemeCP, 0, 2)
+	c10 := Profile(qs, SchemeC10, 0, 2)
+	// Table 3: subsequence matching raises hit rate (26% vs 5%) but the
+	// implied generated-sequence overhead explodes (O(C(P,10))).
+	if c10.HitRate <= cp.HitRate {
+		t.Fatalf("c=10 (%.3f) should beat c=P (%.3f)", c10.HitRate, cp.HitRate)
+	}
+	if c10.GeneratedPerQry < 1000 {
+		t.Fatalf("c=10 overhead %g should be combinatorial", c10.GeneratedPerQry)
+	}
+}
+
+func TestProfileC10TopBounded(t *testing.T) {
+	qs := syntheticQueries(3000, 20, 0.05, 0.25, 3)
+	top := Profile(qs, SchemeC10Top, 1000, 3)
+	// Top-index scheme keeps overhead O(1) per query.
+	if top.GeneratedPerQry > 1.01 {
+		t.Fatalf("c=10-top overhead %g should be ≤1", top.GeneratedPerQry)
+	}
+}
+
+func TestProfileOrderingMatchesTable3(t *testing.T) {
+	qs := syntheticQueries(6000, 20, 0.05, 0.25, 4)
+	c10 := Profile(qs, SchemeC10, 0, 4)
+	top := Profile(qs, SchemeC10Top, 1000, 4)
+	cp := Profile(qs, SchemeCP, 0, 4)
+	// Table 3 ordering: c=10 (26%) ≥ c=10 top (19%) > c=P (5%).
+	if !(c10.HitRate >= top.HitRate && top.HitRate > cp.HitRate) {
+		t.Fatalf("hit-rate ordering violated: c10=%.3f top=%.3f cp=%.3f",
+			c10.HitRate, top.HitRate, cp.HitRate)
+	}
+}
+
+func TestProfileEmpty(t *testing.T) {
+	res := Profile(nil, SchemeCP, 0, 1)
+	if res.HitRate != 0 {
+		t.Fatal("empty stream should have 0 hit rate")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for _, s := range []ProfileScheme{SchemeC10, SchemeC10Top, SchemeCP} {
+		if s.String() == "" || s.String() == "unknown" {
+			t.Errorf("bad name for scheme %d", s)
+		}
+	}
+}
+
+func TestCanonicalTopDeterministic(t *testing.T) {
+	freq := map[int64]int{1: 10, 2: 9, 3: 8, 4: 7, 5: 6}
+	a := canonicalTop(nil, []int64{5, 4, 3, 2, 1}, freq, nil, 3)
+	b := canonicalTop(nil, []int64{1, 2, 3, 4, 5}, freq, nil, 3)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("lens %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order-dependent canonical form: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package power implements the fleet-level power and TCO arithmetic of
+// §2.3 and §5: fleet sizing from per-host QPS (Eq. 5–7), normalized power
+// comparisons for the three deployment scenarios (Table 8: simpler
+// hardware; Table 9: avoiding scale-out; Table 11: multi-tenancy), the SM
+// sizing roofline of Table 10, and the §A.4 warmup over-provision model.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"sdm/internal/blockdev"
+)
+
+// Scenario is one fleet deployment option: a host SKU at a measured
+// per-host QPS, with optional companion hosts (the scale-out remotes).
+type Scenario struct {
+	Name string
+	// QPSPerHost is the measured sustainable QPS of one host.
+	QPSPerHost float64
+	// HostPower is the normalized per-host power.
+	HostPower float64
+	// CompanionPowerPerHost adds scale-out remote power amortized per
+	// serving host (Table 9's "+0.25": one HW-S serves five HW-AN).
+	CompanionPowerPerHost float64
+	// CompanionHostsPerHost is the amortized remote host count.
+	CompanionHostsPerHost float64
+}
+
+// Fleet is the provisioning outcome for a scenario at a total demand.
+type Fleet struct {
+	Scenario   Scenario
+	TotalQPS   float64
+	Hosts      int
+	Companions int
+	TotalPower float64
+}
+
+// Provision sizes the fleet for totalQPS demand (Eq. 7: Resources ∝
+// QPS_total / QPS(HW)).
+func Provision(s Scenario, totalQPS float64) (Fleet, error) {
+	if s.QPSPerHost <= 0 {
+		return Fleet{}, fmt.Errorf("power: scenario %q has no QPS", s.Name)
+	}
+	hosts := int(math.Ceil(totalQPS / s.QPSPerHost))
+	comp := int(math.Ceil(float64(hosts) * s.CompanionHostsPerHost))
+	return Fleet{
+		Scenario:   s,
+		TotalQPS:   totalQPS,
+		Hosts:      hosts,
+		Companions: comp,
+		TotalPower: float64(hosts) * (s.HostPower + s.CompanionPowerPerHost),
+	}, nil
+}
+
+// Savings returns the fractional power saving of b vs the baseline a.
+func Savings(a, b Fleet) float64 {
+	if a.TotalPower == 0 {
+		return 0
+	}
+	return 1 - b.TotalPower/a.TotalPower
+}
+
+// SizingInput drives the Table 10 SM-device roofline: how many SSDs does a
+// future host need to feed the user-side embedding lookups.
+type SizingInput struct {
+	QPS        float64
+	UserTables int
+	PoolingPF  float64
+	// EmbDimBytes is the average user row size in bytes.
+	EmbDimBytes int
+	// CacheHitRate is the expected FM cache hit rate.
+	CacheHitRate float64
+	// Device is the SM technology providing the IOPS.
+	Device blockdev.Technology
+}
+
+// SizingResult is one Table 10 row.
+type SizingResult struct {
+	Input SizingInput
+	// ColdIOPS is the Eq. 8 demand before the cache.
+	ColdIOPS float64
+	// SustainedIOPS is the demand reaching SM after cache hits.
+	SustainedIOPS float64
+	// NumSSDs is the device count covering SustainedIOPS.
+	NumSSDs int
+}
+
+// Size computes the Table 10 roofline: IOPS = QPS · tables · PF, reduced
+// by the cache hit rate, divided by the device's IOPS ceiling.
+func Size(in SizingInput) (SizingResult, error) {
+	if in.QPS <= 0 || in.UserTables <= 0 || in.PoolingPF <= 0 {
+		return SizingResult{}, fmt.Errorf("power: invalid sizing input %+v", in)
+	}
+	spec := blockdev.Spec(in.Device)
+	if spec.MaxIOPS <= 0 {
+		return SizingResult{}, fmt.Errorf("power: device %v has no IOPS rating", in.Device)
+	}
+	cold := in.QPS * float64(in.UserTables) * in.PoolingPF
+	miss := 1 - in.CacheHitRate
+	if miss < 0 {
+		miss = 0
+	}
+	sustained := cold * miss
+	n := int(math.Ceil(sustained / spec.MaxIOPS))
+	if n < 1 {
+		n = 1
+	}
+	return SizingResult{Input: in, ColdIOPS: cold, SustainedIOPS: sustained, NumSSDs: n}, nil
+}
+
+// MultiTenancyInput drives the Table 11 roofline: experimental models are
+// co-located on accelerator hosts; without SDM, DRAM capacity bounds how
+// many fit, leaving compute idle.
+type MultiTenancyInput struct {
+	// HostDRAMBytes / HostSMBytes are per-host memory capacities.
+	HostDRAMBytes int64
+	HostSMBytes   int64
+	// ModelDRAMBytes is each co-located model's user-embedding footprint.
+	ModelDRAMBytes int64
+	// ModelComputeFrac is the fraction of a host's compute one model's
+	// traffic consumes (experimental models run small traffic; §5.3 says
+	// experiments consume up to a quarter of allocated resources).
+	ModelComputeFrac float64
+	// BaseUtilization is the host compute already consumed by its primary
+	// tenant before experimental models co-locate.
+	BaseUtilization float64
+	// BasePower is the host's normalized power; SDMExtraPower is the
+	// added SSD power (Table 11 charges +0.01 for the Optane SSDs).
+	BasePower     float64
+	SDMExtraPower float64
+	// NonEmbeddingDRAMBytes is reserved for dense parts and the OS.
+	NonEmbeddingDRAMBytes int64
+}
+
+// MultiTenancyResult is one Table 11 comparison row.
+type MultiTenancyResult struct {
+	ModelsPerHost int
+	Utilization   float64
+	HostPower     float64
+	// FleetPower is power per unit of served demand, normalized so the
+	// baseline (no SDM) is 1.0 by the caller.
+	FleetPower float64
+}
+
+// MultiTenancy computes host utilization and relative fleet power with and
+// without SDM. Fleet power per demand ∝ hostPower/utilization: a host that
+// is busier amortizes its power over more work.
+func MultiTenancy(in MultiTenancyInput) (without, with MultiTenancyResult, err error) {
+	if in.ModelDRAMBytes <= 0 || in.ModelComputeFrac <= 0 {
+		return without, with, fmt.Errorf("power: invalid multi-tenancy input %+v", in)
+	}
+	avail := in.HostDRAMBytes - in.NonEmbeddingDRAMBytes
+	if avail < 0 {
+		avail = 0
+	}
+	// Without SDM: models per host bound by DRAM capacity.
+	k1 := int(avail / in.ModelDRAMBytes)
+	if k1 < 1 {
+		k1 = 1
+	}
+	// With SDM: embeddings spill to SM; capacity bound moves to SM.
+	k2 := int((avail + in.HostSMBytes) / in.ModelDRAMBytes)
+	// Both are also bounded by the compute left over from the primary
+	// tenant.
+	kMax := int((1 - in.BaseUtilization) / in.ModelComputeFrac)
+	if kMax < 1 {
+		kMax = 1
+	}
+	if k1 > kMax {
+		k1 = kMax
+	}
+	if k2 > kMax {
+		k2 = kMax
+	}
+	u1 := in.BaseUtilization + float64(k1)*in.ModelComputeFrac
+	u2 := in.BaseUtilization + float64(k2)*in.ModelComputeFrac
+	without = MultiTenancyResult{ModelsPerHost: k1, Utilization: u1, HostPower: in.BasePower}
+	with = MultiTenancyResult{ModelsPerHost: k2, Utilization: u2, HostPower: in.BasePower + in.SDMExtraPower}
+	// Normalize fleet power to the non-SDM baseline.
+	base := without.HostPower / u1
+	without.FleetPower = 1.0
+	with.FleetPower = (with.HostPower / u2) / base
+	return without, with, nil
+}
+
+// DRAMSavedBytes returns the DRAM a fleet avoids deploying when each host
+// carries smBytes of SM instead of extra DRAM (§5.1's "saves equivalent of
+// 159.4 TB of DRAM").
+func DRAMSavedBytes(hostsBaseline int, dramPerBaselineHost int64, hostsSDM int, dramPerSDMHost int64) int64 {
+	return int64(hostsBaseline)*dramPerBaselineHost - int64(hostsSDM)*dramPerSDMHost
+}

@@ -1,0 +1,392 @@
+// Package serving simulates DLRM inference hosts and fleets (§2.3, §5):
+// queries arrive open-loop at a target QPS, embedding operators execute
+// against an SDM store (or a flat-DRAM baseline), dense compute runs on a
+// CPU/accelerator service model, and the user-side SM work overlaps the
+// item-side work per Eq. 3 so slow-memory latency stays off the critical
+// path as long as it is shorter than the item path. The simulator measures
+// p50/p95/p99 latency and sustainable QPS, which the power package turns
+// into the fleet-level results of Tables 8, 9 and 11.
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sdm/internal/blockdev"
+	"sdm/internal/core"
+	"sdm/internal/embedding"
+	"sdm/internal/mlp"
+	"sdm/internal/model"
+	"sdm/internal/simclock"
+	"sdm/internal/stats"
+	"sdm/internal/workload"
+	"sdm/internal/xrand"
+)
+
+// HostSpec describes a serving host SKU (Table 7).
+type HostSpec struct {
+	Name string
+	// Cores is the CPU parallelism for embedding/IO work.
+	Cores int
+	// CPUFlops is the effective dense-compute rate of the CPU (FLOP/s).
+	CPUFlops float64
+	// AccelFlops is the accelerator dense-compute rate (0 = none). When
+	// present, item embeddings and MLPs run on the accelerator (§5.2).
+	AccelFlops float64
+	// DRAMBytes is host memory (FM).
+	DRAMBytes int64
+	// RelPower is the normalized per-host power (Tables 8/9/11).
+	RelPower float64
+}
+
+// Table 7 host SKUs. Power values are normalized per the paper's tables
+// (HW-L = 1.0 in Table 8's scenario; accelerator hosts = 1.0 in Table 9's).
+func HWL() HostSpec {
+	return HostSpec{Name: "HW-L", Cores: 2 * 26, CPUFlops: 2 * 1.5e12, DRAMBytes: 256 << 30, RelPower: 1.0}
+}
+
+// HWS is the single-socket CPU host used as scale-out remote (Table 7).
+func HWS() HostSpec {
+	return HostSpec{Name: "HW-S", Cores: 26, CPUFlops: 1.5e12, DRAMBytes: 64 << 30, RelPower: 0.35}
+}
+
+// HWSS is the single-socket host with Nand SSDs (Table 7).
+func HWSS() HostSpec {
+	return HostSpec{Name: "HW-SS", Cores: 26, CPUFlops: 1.5e12, DRAMBytes: 64 << 30, RelPower: 0.4}
+}
+
+// HWAN is the accelerator host with Nand SSDs (Table 7).
+func HWAN() HostSpec {
+	return HostSpec{Name: "HW-AN", Cores: 26, CPUFlops: 1.5e12, AccelFlops: 100e12, DRAMBytes: 64 << 30, RelPower: 1.0}
+}
+
+// HWAO is the accelerator host with Optane SSDs (Table 7).
+func HWAO() HostSpec {
+	return HostSpec{Name: "HW-AO", Cores: 26, CPUFlops: 1.5e12, AccelFlops: 100e12, DRAMBytes: 64 << 30, RelPower: 1.0}
+}
+
+// HWF is the future accelerator platform of §5.3 (M3/Table 11).
+func HWF() HostSpec {
+	return HostSpec{Name: "HW-F", Cores: 52, CPUFlops: 3e12, AccelFlops: 800e12, DRAMBytes: 128 << 30, RelPower: 1.0}
+}
+
+// Config tunes a Host.
+type Config struct {
+	Spec HostSpec
+	// InterOp enables inter-operator parallelism (§A.2): all embedding
+	// ops of a query issue concurrently. Disabled, ops execute serially
+	// and SM latencies accumulate (the −20% latency ablation).
+	InterOp bool
+	// RemoteUserPath models the scale-out baseline (§5.2 / Lui et al.):
+	// user embeddings are fetched from remote HW-S shards over the
+	// network instead of local SDM.
+	RemoteUserPath bool
+	// RemoteRTT is the network round-trip for remote user lookups.
+	RemoteRTT time.Duration
+	Seed      uint64
+}
+
+// Host simulates one serving host. Exactly one of store (SDM path) or
+// flat (all-DRAM path) backs the user-side embeddings; item-side tables
+// always run from FM/accelerator memory, mirroring the paper's setups.
+type Host struct {
+	cfg   Config
+	inst  *model.Instance
+	store *core.Store
+	flat  []*embedding.Table
+	gen   *workload.Generator
+	clock *simclock.Clock
+	rng   *xrand.RNG
+
+	cores     []simclock.Time // per-core next-free virtual time
+	accelFree simclock.Time
+
+	topMLP *mlp.Network
+
+	// horizon is the furthest completion booked on any resource; new runs
+	// start after it so back-to-back measurements do not queue behind
+	// stale bookings.
+	horizon simclock.Time
+
+	// reusable output buffers sized lazily per op
+	outBufs map[int][][]float32
+}
+
+// NewHost builds a host. store may be nil when flat tables are provided
+// (DRAM-only baseline); flat may be nil when a store is provided.
+func NewHost(inst *model.Instance, store *core.Store, flat []*embedding.Table, gen *workload.Generator, clock *simclock.Clock, cfg Config) (*Host, error) {
+	if store == nil && flat == nil && !cfg.RemoteUserPath {
+		return nil, errors.New("serving: host needs a store, flat tables, or a remote user path")
+	}
+	if cfg.Spec.Cores <= 0 {
+		return nil, fmt.Errorf("serving: host %q has no cores", cfg.Spec.Name)
+	}
+	if cfg.RemoteRTT == 0 {
+		cfg.RemoteRTT = 300 * time.Microsecond
+	}
+	top, err := mlp.New(inst.MLPWidths, cfg.Seed^0xabcd)
+	if err != nil {
+		return nil, fmt.Errorf("serving: top MLP: %w", err)
+	}
+	return &Host{
+		cfg:     cfg,
+		inst:    inst,
+		store:   store,
+		flat:    flat,
+		gen:     gen,
+		clock:   clock,
+		rng:     xrand.New(cfg.Seed + 1),
+		cores:   make([]simclock.Time, cfg.Spec.Cores),
+		topMLP:  top,
+		outBufs: make(map[int][][]float32),
+	}, nil
+}
+
+// Result summarizes a host run.
+type Result struct {
+	Queries       int
+	OfferedQPS    float64
+	AchievedQPS   float64
+	Latency       *stats.Histogram
+	CPUUtil       float64
+	CacheHitRate  float64
+	PooledHitRate float64
+	SMReadsPerQry float64
+	SustainedIOPS float64
+}
+
+// String renders the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("qps=%.0f/%.0f p50=%.2fms p95=%.2fms p99=%.2fms cpu=%.0f%% hit=%.1f%%",
+		r.AchievedQPS, r.OfferedQPS,
+		r.Latency.P50()*1e3, r.Latency.P95()*1e3, r.Latency.P99()*1e3,
+		r.CPUUtil*100, r.CacheHitRate*100)
+}
+
+// coreAdmit books cpu seconds of work on the earliest-free core starting
+// no earlier than t and returns (start, done).
+func (h *Host) coreAdmit(t simclock.Time, cpu time.Duration) (simclock.Time, simclock.Time) {
+	best := 0
+	for i, f := range h.cores {
+		if f < h.cores[best] {
+			best = i
+		}
+		_ = f
+	}
+	start := t
+	if h.cores[best] > start {
+		start = h.cores[best]
+	}
+	done := start + simclock.Time(cpu)
+	h.cores[best] = done
+	return start, done
+}
+
+// denseTime converts the top-MLP FLOPs (scaled by item batch) into compute
+// service time on the accelerator if present, else the CPU.
+func (h *Host) denseTime(batch int) time.Duration {
+	flops := h.topMLP.FLOPs() * int64(batch)
+	rate := h.cfg.Spec.CPUFlops
+	if h.cfg.Spec.AccelFlops > 0 {
+		rate = h.cfg.Spec.AccelFlops
+	}
+	return time.Duration(mlp.CostModel(flops, rate) * float64(time.Second))
+}
+
+// outsFor returns reusable output buffers for op.
+func (h *Host) outsFor(op workload.TableOp) [][]float32 {
+	dim := h.inst.Tables[op.Table].Dim
+	bufs := h.outBufs[op.Table]
+	for len(bufs) < len(op.Pools) {
+		bufs = append(bufs, make([]float32, dim))
+	}
+	h.outBufs[op.Table] = bufs
+	return bufs[:len(op.Pools)]
+}
+
+// execQuery runs one query arriving at t0 and returns its completion time.
+func (h *Host) execQuery(t0 simclock.Time, q workload.Query) (simclock.Time, error) {
+	nUser := h.inst.Config.NumUserTables
+	var (
+		userDone = t0
+		itemDone = t0
+		cpu      time.Duration
+		prevDone = t0
+	)
+	for _, op := range q.Ops {
+		issue := t0
+		if !h.cfg.InterOp {
+			// Serial operator execution: each op waits for the previous
+			// one's IO (§A.2 ablation).
+			issue = prevDone
+		}
+		var (
+			opDone simclock.Time
+			opCPU  time.Duration
+			err    error
+		)
+		switch {
+		case op.Table < nUser && h.cfg.RemoteUserPath:
+			// Scale-out: remote shard lookup (network RTT + remote CPU,
+			// which is provisioned on the remote fleet, not here).
+			opDone = issue + simclock.Time(h.cfg.RemoteRTT)
+			opCPU = time.Duration(len(op.Pools)) * 2 * time.Microsecond
+		case op.Table < nUser && h.store != nil:
+			var r core.OpResult
+			r, err = h.store.PoolOp(issue, op, h.outsFor(op))
+			opDone, opCPU = r.IODone, r.CPUTime
+		default:
+			// FM/accelerator-resident path (item tables, or the DRAM-only
+			// baseline's user tables).
+			opDone = issue
+			opCPU, err = h.poolFlat(op)
+		}
+		if err != nil {
+			return t0, err
+		}
+		cpu += opCPU
+		if opDone < issue {
+			opDone = issue
+		}
+		prevDone = opDone
+		if op.Table < nUser {
+			if opDone > userDone {
+				userDone = opDone
+			}
+		} else if opDone > itemDone {
+			itemDone = opDone
+		}
+	}
+	// Embedding CPU work books onto a core (queueing under load).
+	_, cpuDone := h.coreAdmit(t0, cpu)
+	// Eq. 3: the top MLP needs both sides; the user-side SM time hides
+	// behind the item side as long as it is shorter.
+	ready := maxTime(maxTime(userDone, itemDone), cpuDone)
+	// Dense interaction compute (accelerator if present).
+	dt := h.denseTime(h.inst.Config.ItemBatch)
+	denseStart := ready
+	if h.accelFree > denseStart {
+		denseStart = h.accelFree
+	}
+	done := denseStart + simclock.Time(dt)
+	h.accelFree = done
+	return done, nil
+}
+
+// poolFlat pools an op from flat FM tables and returns its CPU cost.
+func (h *Host) poolFlat(op workload.TableOp) (time.Duration, error) {
+	spec := h.inst.Tables[op.Table]
+	var cpu time.Duration
+	if h.flat != nil && op.Table < len(h.flat) {
+		outs := h.outsFor(op)
+		for b, pool := range op.Pools {
+			if err := h.flat[op.Table].Pool(outs[b], pool); err != nil {
+				return cpu, err
+			}
+		}
+	}
+	rows := op.TotalLookups()
+	cpu += time.Duration(float64(rows*spec.RowBytes()) * 0.26) // dequant+pool ns/B
+	return cpu, nil
+}
+
+// RunOpenLoop offers n queries at the given arrival rate (Poisson) and
+// measures latency. Device and core state carry over between calls, so a
+// warmup call followed by a measurement call yields steady-state numbers.
+func (h *Host) RunOpenLoop(qps float64, n int) (Result, error) {
+	if qps <= 0 || n <= 0 {
+		return Result{}, fmt.Errorf("serving: bad run parameters qps=%g n=%d", qps, n)
+	}
+	lat := stats.NewHistogram()
+	var smReadsBefore uint64
+	var cpuBefore time.Duration
+	if h.store != nil {
+		smReadsBefore = h.store.Stats().SMReads
+		cpuBefore = h.store.Stats().CPUTime
+	}
+	start := h.clock.Now()
+	if h.horizon > start {
+		start = h.horizon
+	}
+	t := start
+	last := start
+	for i := 0; i < n; i++ {
+		t += simclock.Time(h.rng.Exp(1 / qps * float64(time.Second)))
+		q := h.gen.Next()
+		done, err := h.execQuery(t, q)
+		if err != nil {
+			return Result{}, err
+		}
+		lat.Observe((done - t).Seconds())
+		if done > last {
+			last = done
+		}
+	}
+	h.horizon = last
+	elapsed := (last - start).Seconds()
+	res := Result{
+		Queries:    n,
+		OfferedQPS: qps,
+		Latency:    lat,
+	}
+	if elapsed > 0 {
+		res.AchievedQPS = float64(n) / elapsed
+	}
+	if h.store != nil {
+		st := h.store.Stats()
+		cs := h.store.CacheStats()
+		ps := h.store.PooledStats()
+		res.CacheHitRate = cs.HitRate()
+		res.PooledHitRate = ps.HitRate()
+		res.SMReadsPerQry = float64(st.SMReads-smReadsBefore) / float64(n)
+		if elapsed > 0 {
+			res.SustainedIOPS = float64(st.SMReads-smReadsBefore) / elapsed
+			res.CPUUtil = (st.CPUTime - cpuBefore).Seconds() / (elapsed * float64(h.cfg.Spec.Cores))
+		}
+	}
+	return res, nil
+}
+
+// MaxQPSAtLatency binary-searches the highest offered QPS whose measured
+// latency quantile stays within budget. Each probe runs warm+measure.
+func (h *Host) MaxQPSAtLatency(quantile float64, budget time.Duration, loQPS, hiQPS float64, probeQueries int) (float64, Result, error) {
+	// Establish a floor measurement so callers always get a valid Result
+	// even when no probe meets the budget.
+	best, err := h.RunOpenLoop(loQPS, probeQueries)
+	if err != nil {
+		return 0, Result{}, err
+	}
+	bestQPS := loQPS
+	for iter := 0; iter < 12 && hiQPS/loQPS > 1.05; iter++ {
+		mid := (loQPS + hiQPS) / 2
+		res, err := h.RunOpenLoop(mid, probeQueries)
+		if err != nil {
+			return 0, Result{}, err
+		}
+		// A configuration passes if it meets the latency budget AND
+		// actually sustains the offered rate — an overloaded backend
+		// shows up as a completion horizon stretching past the arrival
+		// window before short-probe percentiles can detect it.
+		ok := time.Duration(res.Latency.Quantile(quantile)*float64(time.Second)) <= budget &&
+			res.AchievedQPS >= 0.8*mid
+		if ok {
+			bestQPS, best = mid, res
+			loQPS = mid
+		} else {
+			hiQPS = mid
+		}
+	}
+	return bestQPS, best, nil
+}
+
+func maxTime(a, b simclock.Time) simclock.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DeviceCatalogCheck is a convenience that surfaces the blockdev catalog to
+// serving callers (used by the CLI's tab1 view).
+func DeviceCatalogCheck() []blockdev.TechSpec { return blockdev.Catalog() }

@@ -1,0 +1,131 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	var c Clock
+	var order []int
+	c.Schedule(Time(3*time.Second), func(Time) { order = append(order, 3) })
+	c.Schedule(Time(1*time.Second), func(Time) { order = append(order, 1) })
+	c.Schedule(Time(2*time.Second), func(Time) { order = append(order, 2) })
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fired out of order: %v", order)
+	}
+	if c.Now() != Time(3*time.Second) {
+		t.Fatalf("clock at %v", c.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var c Clock
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(Time(time.Second), func(Time) { order = append(order, i) })
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	var c Clock
+	c.Schedule(Time(5*time.Second), func(now Time) {
+		c.Schedule(Time(time.Second), func(now2 Time) {
+			if now2 != Time(5*time.Second) {
+				t.Errorf("past event fired at %v", now2)
+			}
+		})
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	var c Clock
+	fired := Time(0)
+	c.After(100*time.Millisecond, func(now Time) { fired = now })
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != Time(100*time.Millisecond) {
+		t.Fatalf("After fired at %v", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var c Clock
+	fired := false
+	e := c.Schedule(Time(time.Second), func(Time) { fired = true })
+	c.Cancel(e)
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	c.Cancel(e)
+	c.Cancel(nil)
+}
+
+func TestRunBudget(t *testing.T) {
+	var c Clock
+	var loop func(Time)
+	loop = func(Time) { c.After(time.Millisecond, loop) }
+	c.After(time.Millisecond, loop)
+	if err := c.Run(100); err != ErrBudgetExceeded {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var c Clock
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		c.Schedule(Time(time.Duration(i)*time.Second), func(Time) { fired++ })
+	}
+	c.RunUntil(Time(5 * time.Second))
+	if fired != 5 {
+		t.Fatalf("fired %d, want 5", fired)
+	}
+	if c.Now() != Time(5*time.Second) {
+		t.Fatalf("clock at %v", c.Now())
+	}
+	if c.Pending() != 5 {
+		t.Fatalf("pending %d, want 5", c.Pending())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var c Clock
+	c.RunUntil(Time(7 * time.Second))
+	if c.Now() != Time(7*time.Second) {
+		t.Fatalf("idle clock at %v", c.Now())
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	x := Time(1500 * time.Microsecond)
+	if x.Seconds() != 0.0015 {
+		t.Fatalf("Seconds %g", x.Seconds())
+	}
+	if x.Micros() != 1500 {
+		t.Fatalf("Micros %g", x.Micros())
+	}
+	if x.Duration() != 1500*time.Microsecond {
+		t.Fatalf("Duration %v", x.Duration())
+	}
+}

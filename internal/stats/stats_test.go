@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if m := h.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Fatalf("mean %g", m)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max %g/%g", h.Min(), h.Max())
+	}
+	checks := []struct {
+		q    float64
+		want float64
+		tol  float64
+	}{
+		{0.5, 50, 3}, {0.95, 95, 4}, {0.99, 99, 4},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("q%.2f = %g, want %g ± %g", c.q, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	h := NewHistogram()
+	const v = 1234.5
+	for i := 0; i < 1000; i++ {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if math.Abs(got-v)/v > 0.03 {
+			t.Fatalf("q%g = %g, want within 3%% of %g", q, got, v)
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative observation should clamp to 0, min=%g", h.Min())
+	}
+}
+
+func TestHistogramWideRange(t *testing.T) {
+	h := NewHistogram()
+	// Mix of microseconds and seconds.
+	for i := 0; i < 99; i++ {
+		h.Observe(10e-6)
+	}
+	h.Observe(1.0)
+	if p50 := h.P50(); math.Abs(p50-10e-6)/10e-6 > 0.05 {
+		t.Fatalf("p50 %g, want ~10µs", p50)
+	}
+	if p99 := h.Quantile(0.999); p99 < 0.5 {
+		t.Fatalf("p99.9 %g, want ~1s", p99)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	// 10 items; one gets 91 accesses, rest 1 each.
+	counts := make([]uint64, 10)
+	for i := range counts {
+		counts[i] = 1
+	}
+	counts[3] = 91
+	pts := CDF(counts, []float64{0.1, 0.5, 1.0})
+	if len(pts) != 3 {
+		t.Fatalf("want 3 points, got %d", len(pts))
+	}
+	if math.Abs(pts[0].Frac-0.91) > 1e-9 {
+		t.Fatalf("top 10%% should cover 91%% of accesses, got %g", pts[0].Frac)
+	}
+	if pts[2].Frac != 1 {
+		t.Fatalf("full population should cover 100%%, got %g", pts[2].Frac)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	if CDF(nil, []float64{0.5}) != nil {
+		t.Fatal("nil counts should give nil")
+	}
+	if CDF([]uint64{0, 0}, []float64{0.5}) != nil {
+		t.Fatal("all-zero counts should give nil")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	counts := []uint64{5, 3, 9, 1, 7, 2, 8, 4, 6, 10}
+	fr := []float64{0.1, 0.2, 0.3, 0.5, 0.7, 1.0}
+	pts := CDF(counts, fr)
+	prev := 0.0
+	for _, p := range pts {
+		if p.Frac < prev {
+			t.Fatalf("CDF not monotone at x=%g", p.X)
+		}
+		prev = p.Frac
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range data {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("n=%d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean %g", w.Mean())
+	}
+	// Sample variance of the data = 32/7.
+	if math.Abs(w.Var()-32.0/7) > 1e-9 {
+		t.Fatalf("var %g", w.Var())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("div by zero should be 0")
+	}
+	if Ratio(6, 3) != 2 {
+		t.Fatal("6/3 != 2")
+	}
+}

@@ -1,0 +1,111 @@
+package uring
+
+import (
+	"container/heap"
+	"time"
+
+	"sdm/internal/blockdev"
+	"sdm/internal/simclock"
+)
+
+// SyncRing is a synchronous virtual-time facade over a device: instead of
+// scheduling completion callbacks, SubmitSync books the IO against the
+// device's channel model and returns its completion timestamp directly.
+// Outstanding-IO throttling (the §4.1 Tuning API) is preserved: when the
+// cap is reached, a new IO cannot start before the earliest in-flight IO's
+// completion. This is the form used inside the SDM store and the host
+// simulator, where query code wants the completion time in-line.
+type SyncRing struct {
+	dev      *blockdev.Device
+	cfg      Config
+	inflight timeHeap
+	stats    Stats
+}
+
+// NewSync creates a synchronous ring over dev.
+func NewSync(dev *blockdev.Device, cfg Config) *SyncRing {
+	if cfg.MaxOutstanding == 0 {
+		cfg.MaxOutstanding = dev.MaxOutstanding
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = IRQ
+	}
+	if cfg.BatchSubmit <= 0 {
+		cfg.BatchSubmit = 16
+	}
+	return &SyncRing{dev: dev, cfg: cfg}
+}
+
+// Config returns the ring configuration.
+func (r *SyncRing) Config() Config { return r.cfg }
+
+// Stats returns a snapshot of counters.
+func (r *SyncRing) Stats() Stats { return r.stats }
+
+// Device returns the underlying device.
+func (r *SyncRing) Device() *blockdev.Device { return r.dev }
+
+func (r *SyncRing) cpuPerIO() time.Duration {
+	per := cpuPerIOIRQ
+	if r.cfg.Mode == Polling {
+		per = cpuPerIOPolling
+	}
+	per += time.Duration(int(500*time.Nanosecond) / r.cfg.BatchSubmit)
+	return per
+}
+
+// SubmitSync performs one IO issued at virtual time now and returns its
+// completion time.
+func (r *SyncRing) SubmitSync(now simclock.Time, buf []byte, off int64, write bool) (simclock.Time, error) {
+	r.stats.Submitted++
+	start := now
+	// Drop completed entries, then apply the outstanding cap.
+	for len(r.inflight) > 0 && r.inflight[0] <= now {
+		heap.Pop(&r.inflight)
+	}
+	if r.cfg.MaxOutstanding > 0 {
+		for len(r.inflight) >= r.cfg.MaxOutstanding {
+			t := heap.Pop(&r.inflight).(simclock.Time)
+			if t > start {
+				start = t
+			}
+		}
+	}
+	if len(r.inflight) > r.stats.PeakInflight {
+		r.stats.PeakInflight = len(r.inflight)
+	}
+	var (
+		done simclock.Time
+		err  error
+	)
+	switch {
+	case write:
+		done, err = r.dev.Write(start, buf, off)
+	case r.cfg.SGL:
+		done, err = r.dev.ReadSGL(start, buf, off)
+	default:
+		done, err = r.dev.Read(start, buf, off)
+	}
+	r.stats.CPUTime += r.cpuPerIO()
+	if err != nil {
+		r.stats.Errors++
+		return start, err
+	}
+	heap.Push(&r.inflight, done)
+	r.stats.Completed++
+	return done, nil
+}
+
+type timeHeap []simclock.Time
+
+func (h timeHeap) Len() int           { return len(h) }
+func (h timeHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h timeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timeHeap) Push(x any)        { *h = append(*h, x.(simclock.Time)) }
+func (h *timeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

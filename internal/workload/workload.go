@@ -1,0 +1,232 @@
+// Package workload synthesizes DLRM inference query streams and provides
+// the locality analyzers behind the paper's characterization study:
+// temporal-locality CDFs (Fig. 4), the per-host locality uplift from sticky
+// user→host routing (Fig. 4c), and the spatial-locality heatmap metric
+// (Fig. 5, unique indices per unique 4 KB block).
+//
+// Queries follow the §2.2 semantics: the user side is looked up once per
+// query (B_U = 1) while the item side is looked up for a batch of B_I
+// candidate items. Per-table indices are drawn from Zipf distributions
+// whose ranks are scattered across the table by a bijective permutation, so
+// temporal locality is high (power law) while spatial locality is low —
+// both as measured in the paper.
+package workload
+
+import (
+	"fmt"
+
+	"sdm/internal/embedding"
+	"sdm/internal/model"
+	"sdm/internal/xrand"
+)
+
+// TableOp is the index work for one embedding operator in one query:
+// Pools[b] holds the indices pooled for batch element b. User ops have one
+// pool; item ops have ItemBatch pools.
+type TableOp struct {
+	// Table indexes into the model instance's Tables slice.
+	Table int
+	Pools [][]int64
+}
+
+// TotalLookups returns the number of row lookups in the op.
+func (op TableOp) TotalLookups() int {
+	var n int
+	for _, p := range op.Pools {
+		n += len(p)
+	}
+	return n
+}
+
+// Query is one inference request: a user and the ops across all tables.
+type Query struct {
+	UserID int64
+	Ops    []TableOp
+}
+
+// Lookups returns the total row lookups of the query.
+func (q Query) Lookups() int {
+	var n int
+	for _, op := range q.Ops {
+		n += op.TotalLookups()
+	}
+	return n
+}
+
+// Config tunes the generator.
+type Config struct {
+	// NumUsers/NumItems are the active populations. Users and items are
+	// drawn from Zipf distributions over these populations, so popular
+	// users/items repeat — the source of pooled-cache hits (§4.4).
+	NumUsers int64
+	NumItems int64
+	// UserAlpha/ItemAlpha are the popularity skews of users and items.
+	UserAlpha float64
+	ItemAlpha float64
+	// SeqChurn is the probability that one index of a user's (or item's)
+	// base sequence is resampled for this query, breaking full-sequence
+	// pooled-cache hits (models feature drift between queries).
+	SeqChurn float64
+	// ItemBatch overrides the model's item batch if > 0; InferenceEval
+	// (Table 2) sets user batch == item batch instead, see EvalMode.
+	ItemBatch int
+	// EvalMode switches to the InferenceEval usecase of Table 2:
+	// user batch == item batch > 1 (accuracy validation traffic).
+	EvalMode bool
+	// Spatial controls index scattering: false (default) applies the
+	// bijective permutation (low spatial locality, as measured in
+	// Fig. 5); true keeps hot ranks contiguous (high spatial locality).
+	Spatial bool
+	Seed    uint64
+}
+
+// Generator produces queries for a model instance.
+type Generator struct {
+	inst  *model.Instance
+	cfg   Config
+	rng   *xrand.RNG
+	zipfs []*xrand.Zipf     // per table
+	perms []*xrand.Permuter // per table
+	userZ *xrand.Zipf
+	itemZ *xrand.Zipf
+}
+
+// NewGenerator builds a generator over inst.
+func NewGenerator(inst *model.Instance, cfg Config) (*Generator, error) {
+	if cfg.NumUsers <= 0 {
+		cfg.NumUsers = 100000
+	}
+	if cfg.NumItems <= 0 {
+		cfg.NumItems = 10000
+	}
+	if cfg.UserAlpha == 0 {
+		cfg.UserAlpha = 0.9
+	}
+	if cfg.ItemAlpha == 0 {
+		cfg.ItemAlpha = 1.1
+	}
+	g := &Generator{
+		inst:  inst,
+		cfg:   cfg,
+		rng:   xrand.New(cfg.Seed),
+		zipfs: make([]*xrand.Zipf, len(inst.Tables)),
+		perms: make([]*xrand.Permuter, len(inst.Tables)),
+		userZ: xrand.NewZipf(cfg.NumUsers, cfg.UserAlpha),
+		itemZ: xrand.NewZipf(cfg.NumItems, cfg.ItemAlpha),
+	}
+	for i, s := range inst.Tables {
+		g.zipfs[i] = xrand.NewZipf(s.Rows, s.Alpha)
+		g.perms[i] = xrand.NewPermuter(s.Rows, cfg.Seed^uint64(s.ID)<<17)
+		g.perms[i].Identity = cfg.Spatial
+	}
+	return g, nil
+}
+
+// Config returns the generator configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Instance returns the model the generator targets.
+func (g *Generator) Instance() *model.Instance { return g.inst }
+
+// itemBatch resolves the effective item batch size.
+func (g *Generator) itemBatch() int {
+	if g.cfg.ItemBatch > 0 {
+		return g.cfg.ItemBatch
+	}
+	return g.inst.Config.ItemBatch
+}
+
+// poolLen draws a per-op pooling length around the table's average.
+func (g *Generator) poolLen(rng *xrand.RNG, pf float64) int {
+	// PF spread: uniform in [0.5·PF, 1.5·PF], minimum 1.
+	n := int(pf * (0.5 + rng.Float64()))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// baseSequence returns entity e's deterministic index sequence for table t,
+// optionally churned by one resampled index.
+func (g *Generator) baseSequence(table int, entity int64, churn bool) []int64 {
+	s := g.inst.Tables[table]
+	rng := xrand.New(g.cfg.Seed ^ uint64(entity)*0x9e3779b97f4a7c15 ^ uint64(s.ID)<<40)
+	n := g.poolLen(rng, s.PoolingFactor)
+	seq := make([]int64, n)
+	for i := range seq {
+		seq[i] = g.perms[table].Map(g.zipfs[table].Rank(rng))
+	}
+	if churn {
+		seq[g.rng.Intn(n)] = g.perms[table].Map(g.zipfs[table].Rank(g.rng))
+	}
+	return seq
+}
+
+// Next generates one query.
+func (g *Generator) Next() Query {
+	user := g.userZ.Rank(g.rng)
+	q := Query{UserID: user}
+	nUser := g.inst.Config.NumUserTables
+	userBatch := 1
+	if g.cfg.EvalMode {
+		userBatch = g.itemBatch()
+	}
+	for t := 0; t < len(g.inst.Tables); t++ {
+		isUser := t < nUser
+		batch := g.itemBatch()
+		if isUser {
+			batch = userBatch
+		}
+		op := TableOp{Table: t, Pools: make([][]int64, 0, batch)}
+		for b := 0; b < batch; b++ {
+			var entity int64
+			if isUser {
+				entity = user
+				if g.cfg.EvalMode && b > 0 {
+					// Eval batches different users.
+					entity = g.userZ.Rank(g.rng)
+				}
+			} else {
+				entity = g.itemZ.Rank(g.rng)
+			}
+			churn := g.cfg.SeqChurn > 0 && g.rng.Float64() < g.cfg.SeqChurn
+			op.Pools = append(op.Pools, g.baseSequence(t, entity, churn))
+		}
+		q.Ops = append(q.Ops, op)
+	}
+	return q
+}
+
+// GenerateTrace produces n queries.
+func (g *Generator) GenerateTrace(n int) []Query {
+	out := make([]Query, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Validate checks that every generated index is within its table.
+func Validate(inst *model.Instance, qs []Query) error {
+	for qi, q := range qs {
+		for _, op := range q.Ops {
+			if op.Table < 0 || op.Table >= len(inst.Tables) {
+				return fmt.Errorf("workload: query %d references table %d of %d", qi, op.Table, len(inst.Tables))
+			}
+			rows := inst.Tables[op.Table].Rows
+			for _, pool := range op.Pools {
+				for _, idx := range pool {
+					if idx < 0 || idx >= rows {
+						return fmt.Errorf("workload: query %d table %d index %d out of %d rows", qi, op.Table, idx, rows)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// KindOf returns the kind of table t in the instance.
+func KindOf(inst *model.Instance, t int) embedding.Kind {
+	return inst.Tables[t].Kind
+}

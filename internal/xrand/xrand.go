@@ -1,0 +1,251 @@
+// Package xrand provides deterministic random number generation and the
+// heavy-tailed samplers used to synthesize DLRM embedding-access workloads.
+//
+// The paper (§4.2, Fig. 4) observes that accesses to most embedding tables
+// follow a power law. Production traces are not available, so workloads in
+// this repository are driven by per-table Zipfian samplers whose skew is
+// configurable, combined with a pseudorandom index permutation that controls
+// spatial locality (hot rows scattered across 4 KB blocks, matching Fig. 5).
+package xrand
+
+import "math"
+
+// RNG is a small, fast, deterministic generator (SplitMix64 seeded
+// xorshift128+). It is not safe for concurrent use; create one per goroutine.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// New returns an RNG seeded deterministically from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state using a SplitMix64 expansion of seed.
+func (r *RNG) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0 = next()
+	r.s1 = next()
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1
+	}
+}
+
+// Uint64 returns the next 64 pseudorandom bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). n must be > 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation (Box–Muller).
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Perm returns a pseudorandom permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Zipf samples ranks from an (approximate) Zipf distribution over
+// [0, N): P(rank = i) ∝ 1/(i+1)^Alpha. Rank 0 is the hottest element.
+//
+// The sampler uses inverse-CDF sampling against the continuous
+// approximation of the discrete Zipf CDF, which is accurate for the
+// locality-shape experiments this repo runs (Fig. 4) and — unlike
+// math/rand's rejection sampler — supports any Alpha > 0, including the
+// Alpha ≤ 1 regime typical of embedding tables.
+type Zipf struct {
+	n     int64
+	alpha float64
+	// Precomputed constants for the inverse CDF.
+	oneMinusA    float64
+	normConstant float64 // N^(1-a) - 1 for a != 1; ln(N) for a == 1
+	uniform      bool
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with skew alpha.
+// alpha == 0 degenerates to the uniform distribution.
+func NewZipf(n int64, alpha float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	z := &Zipf{n: n, alpha: alpha}
+	switch {
+	case alpha <= 0:
+		z.uniform = true
+	case math.Abs(alpha-1) < 1e-9:
+		z.alpha = 1
+		z.normConstant = math.Log(float64(n))
+	default:
+		z.oneMinusA = 1 - alpha
+		z.normConstant = math.Pow(float64(n), z.oneMinusA) - 1
+	}
+	return z
+}
+
+// N returns the support size.
+func (z *Zipf) N() int64 { return z.n }
+
+// Alpha returns the configured skew.
+func (z *Zipf) Alpha() float64 { return z.alpha }
+
+// Rank draws a rank in [0, N), rank 0 being the most popular.
+func (z *Zipf) Rank(r *RNG) int64 {
+	if z.uniform || z.n == 1 {
+		return r.Int63n(z.n)
+	}
+	u := r.Float64()
+	var x float64
+	if z.alpha == 1 {
+		// CDF(i) ≈ ln(i+1)/ln(N)  =>  i = N^u - 1
+		x = math.Exp(u*z.normConstant) - 1
+	} else {
+		// CDF(i) ≈ ((i+1)^(1-a) - 1) / (N^(1-a) - 1)
+		x = math.Pow(u*z.normConstant+1, 1/z.oneMinusA) - 1
+	}
+	i := int64(x)
+	if i >= z.n {
+		i = z.n - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// CDF returns the (approximate) probability that a sample has rank < i.
+func (z *Zipf) CDF(i int64) float64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= z.n {
+		return 1
+	}
+	if z.uniform {
+		return float64(i) / float64(z.n)
+	}
+	if z.alpha == 1 {
+		return math.Log(float64(i)+1) / z.normConstant
+	}
+	return (math.Pow(float64(i)+1, z.oneMinusA) - 1) / z.normConstant
+}
+
+// Permuter maps ranks to scattered table indices using a Feistel-style
+// bijection over [0, n). It converts "rank 0 is hottest" into "hot rows are
+// scattered uniformly across the table", reproducing the low spatial
+// locality the paper measures in Fig. 5. With Identity set, ranks map to
+// themselves, producing maximal spatial locality (hot rows share blocks).
+type Permuter struct {
+	n        int64
+	keys     [4]uint64
+	halfBits uint
+	halfMask uint64
+	// Identity disables permutation.
+	Identity bool
+}
+
+// NewPermuter returns a bijective permuter over [0, n) keyed by seed.
+func NewPermuter(n int64, seed uint64) *Permuter {
+	if n < 1 {
+		n = 1
+	}
+	bits := uint(1)
+	for int64(1)<<bits < n {
+		bits++
+	}
+	if bits%2 == 1 {
+		bits++
+	}
+	half := bits / 2
+	p := &Permuter{n: n, halfBits: half, halfMask: (1 << half) - 1}
+	r := New(seed)
+	for i := range p.keys {
+		p.keys[i] = r.Uint64()
+	}
+	return p
+}
+
+func (p *Permuter) round(x, key uint64) uint64 {
+	x ^= key
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	return x & p.halfMask
+}
+
+// Map maps rank i in [0, n) to a unique index in [0, n) (cycle-walking
+// Feistel network, so the mapping is a true bijection).
+func (p *Permuter) Map(i int64) int64 {
+	if p.Identity || p.n == 1 {
+		return i
+	}
+	x := uint64(i)
+	for {
+		l := x >> p.halfBits
+		r := x & p.halfMask
+		for _, k := range p.keys {
+			l, r = r, l^p.round(r, k)
+		}
+		x = l<<p.halfBits | r
+		if int64(x) < p.n {
+			return int64(x)
+		}
+	}
+}

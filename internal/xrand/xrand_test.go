@@ -1,0 +1,238 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical draws of 100", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %g, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d", v)
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-5) != 0 {
+		t.Fatal("Intn of non-positive n should be 0")
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(5)
+	var sum, sq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Norm(2, 3)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	stdev := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean-2) > 0.05 {
+		t.Errorf("norm mean %g, want ~2", mean)
+	}
+	if math.Abs(stdev-3) > 0.05 {
+		t.Errorf("norm stddev %g, want ~3", stdev)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(9)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(4)
+	}
+	if mean := sum / n; math.Abs(mean-4) > 0.1 {
+		t.Fatalf("exp mean %g, want ~4", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	p := r.Perm(257)
+	seen := make([]bool, 257)
+	for _, v := range p {
+		if v < 0 || v >= 257 || seen[v] {
+			t.Fatalf("invalid permutation value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfRankBounds(t *testing.T) {
+	for _, alpha := range []float64{0, 0.5, 1.0, 1.3, 2.0} {
+		z := NewZipf(1000, alpha)
+		r := New(17)
+		for i := 0; i < 10000; i++ {
+			v := z.Rank(r)
+			if v < 0 || v >= 1000 {
+				t.Fatalf("alpha=%g rank %d out of range", alpha, v)
+			}
+		}
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	// Higher alpha must concentrate more mass on top ranks.
+	top1Frac := func(alpha float64) float64 {
+		z := NewZipf(100000, alpha)
+		r := New(23)
+		const n = 100000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if z.Rank(r) < 1000 { // top 1%
+				hits++
+			}
+		}
+		return float64(hits) / n
+	}
+	low, mid, high := top1Frac(0.3), top1Frac(0.9), top1Frac(1.3)
+	if !(low < mid && mid < high) {
+		t.Fatalf("top-1%% mass not increasing with alpha: %g %g %g", low, mid, high)
+	}
+	if high < 0.5 {
+		t.Fatalf("alpha=1.3 top-1%% mass %g, want power-law concentration > 0.5", high)
+	}
+	if u := top1Frac(0); math.Abs(u-0.01) > 0.005 {
+		t.Fatalf("uniform top-1%% mass %g, want ~0.01", u)
+	}
+}
+
+func TestZipfCDFMonotonic(t *testing.T) {
+	z := NewZipf(10000, 1.1)
+	prev := 0.0
+	for i := int64(0); i <= 10000; i += 100 {
+		c := z.CDF(i)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF decreasing at %d: %g < %g", i, c, prev)
+		}
+		prev = c
+	}
+	if z.CDF(0) != 0 || z.CDF(10000) != 1 {
+		t.Fatal("CDF endpoints wrong")
+	}
+}
+
+func TestZipfUniformFallback(t *testing.T) {
+	z := NewZipf(10, 0)
+	if z.Alpha() != 0 {
+		t.Fatal("alpha should stay 0")
+	}
+	r := New(29)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Rank(r)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("uniform bucket %d count %d far from 10000", i, c)
+		}
+	}
+}
+
+func TestPermuterBijection(t *testing.T) {
+	for _, n := range []int64{1, 2, 7, 64, 1000, 4097} {
+		p := NewPermuter(n, 99)
+		seen := make(map[int64]bool, n)
+		for i := int64(0); i < n; i++ {
+			v := p.Map(i)
+			if v < 0 || v >= n {
+				t.Fatalf("n=%d: Map(%d)=%d out of range", n, i, v)
+			}
+			if seen[v] {
+				t.Fatalf("n=%d: Map(%d)=%d collides", n, i, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermuterBijectionProperty(t *testing.T) {
+	const n = 1 << 14
+	p := NewPermuter(n, 7)
+	f := func(a, b uint16) bool {
+		x, y := int64(a)%n, int64(b)%n
+		if x == y {
+			return true
+		}
+		return p.Map(x) != p.Map(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuterIdentity(t *testing.T) {
+	p := NewPermuter(100, 1)
+	p.Identity = true
+	for i := int64(0); i < 100; i++ {
+		if p.Map(i) != i {
+			t.Fatalf("identity Map(%d) = %d", i, p.Map(i))
+		}
+	}
+}
+
+func TestPermuterScatters(t *testing.T) {
+	// Adjacent ranks should not stay adjacent (spatial-locality breaking).
+	p := NewPermuter(1<<20, 3)
+	adjacent := 0
+	for i := int64(0); i < 1000; i++ {
+		d := p.Map(i+1) - p.Map(i)
+		if d < 0 {
+			d = -d
+		}
+		if d < 32 {
+			adjacent++
+		}
+	}
+	if adjacent > 10 {
+		t.Fatalf("%d of 1000 adjacent ranks stayed near-adjacent", adjacent)
+	}
+}

@@ -1,0 +1,141 @@
+package sdm
+
+import (
+	"testing"
+
+	"sdm/internal/blockdev"
+	"sdm/internal/cache"
+	"sdm/internal/core"
+	"sdm/internal/pooledcache"
+	"sdm/internal/quant"
+	"sdm/internal/simclock"
+	"sdm/internal/uring"
+	"sdm/internal/workload"
+	"sdm/internal/xrand"
+)
+
+// Functional microbenchmarks: real ns/op of the SDM hot paths.
+
+func BenchmarkQuantDequantizeRowInt8(b *testing.B) {
+	src := make([]float32, 64)
+	rng := xrand.New(1)
+	for i := range src {
+		src[i] = float32(rng.Norm(0, 1))
+	}
+	row := make([]byte, quant.RowBytes(quant.Int8, 64))
+	if err := quant.QuantizeRow(row, src, quant.Int8); err != nil {
+		b.Fatal(err)
+	}
+	acc := make([]float32, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := quant.AccumulateRow(acc, row, quant.Int8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheMemOptimizedGet(b *testing.B) {
+	c := cache.NewMemOptimized(8<<20, 255)
+	v := make([]byte, 128)
+	for i := 0; i < 10000; i++ {
+		c.Put(cache.Key{Row: int64(i)}, v)
+	}
+	dst := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(cache.Key{Row: int64(i % 10000)}, dst)
+	}
+}
+
+func BenchmarkCacheCPUOptimizedGet(b *testing.B) {
+	c := cache.NewCPUOptimized(16 << 20)
+	v := make([]byte, 128)
+	for i := 0; i < 10000; i++ {
+		c.Put(cache.Key{Row: int64(i)}, v)
+	}
+	dst := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(cache.Key{Row: int64(i % 10000)}, dst)
+	}
+}
+
+func BenchmarkPooledCacheHash(b *testing.B) {
+	idx := make([]int64, 42)
+	rng := xrand.New(2)
+	for i := range idx {
+		idx[i] = rng.Int63n(1 << 30)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pooledcache.HashIndices(idx)
+	}
+}
+
+func BenchmarkZipfRank(b *testing.B) {
+	z := xrand.NewZipf(1<<24, 1.05)
+	rng := xrand.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Rank(rng)
+	}
+}
+
+func BenchmarkDeviceReadSGL(b *testing.B) {
+	var clk simclock.Clock
+	dev := blockdev.New(blockdev.Spec(blockdev.OptaneSSD), 1<<24, &clk, 4)
+	buf := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.ReadSGL(0, buf, int64(i%4096)*512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorePoolOp measures the full SDM lookup path (pooled cache →
+// row cache → SM device → dequant+pool) per operator.
+func BenchmarkStorePoolOp(b *testing.B) {
+	inst, err := Build(benchModel(), 1, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables, err := inst.Materialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var clk simclock.Clock
+	store, err := core.Open(inst, tables, core.Config{
+		Seed: 5, CacheBytes: 16 << 20, Ring: uring.Config{SGL: true},
+	}, &clk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(inst, workload.Config{Seed: 5, NumUsers: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := gen.Next()
+	op := q.Ops[0]
+	outs := make([][]float32, len(op.Pools))
+	for i := range outs {
+		outs[i] = make([]float32, inst.Tables[op.Table].Dim)
+	}
+	now := store.LoadDone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.PoolOp(now, op, outs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchModel() ModelConfig {
+	cfg := M1()
+	cfg.NumUserTables = 4
+	cfg.NumItemTables = 2
+	cfg.ItemBatch = 4
+	cfg.TotalBytes = 1 << 22
+	return cfg
+}

@@ -1,0 +1,180 @@
+// Package sdm is the public API of the Software Defined Memory (SDM)
+// library — a Go reproduction of "Supporting Massive DLRM Inference through
+// Software Defined Memory" (Ardestani et al., ICDCS 2022,
+// arXiv:2110.11489). It serves massive DLRM embedding tables from a tiered
+// memory hierarchy: hot rows live in a unified FM (DRAM) row cache while
+// capacity resides on simulated Storage Class Memory (Nand Flash, Optane
+// SSD, ZSSD, DIMM/CXL 3DXP) reached through an io_uring-style async IO
+// path with NVMe SGL sub-block reads.
+//
+// The facade re-exports the library's main types so downstream users
+// import one package:
+//
+//	inst, _ := sdm.Build(sdm.M1(), 1e-5, 42)       // synthetic Table 6 model
+//	tables, _ := inst.Materialize()
+//	var clk sdm.Clock
+//	store, _ := sdm.Open(inst, tables, sdm.Config{
+//		SMTech: sdm.OptaneSSD,
+//		Ring:   sdm.RingConfig{SGL: true},
+//	}, &clk)
+//	gen, _ := sdm.NewGenerator(inst, sdm.WorkloadConfig{Seed: 1})
+//	q := gen.Next()
+//	outs := store.AllocOutputs(q)
+//	res, _ := store.PoolQuery(store.LoadDone(), q, outs)
+//
+// See the examples/ directory for runnable end-to-end scenarios and
+// cmd/sdmbench for the experiment harness that regenerates every table and
+// figure of the paper's evaluation.
+package sdm
+
+import (
+	"sdm/internal/blockdev"
+	"sdm/internal/core"
+	"sdm/internal/embedding"
+	"sdm/internal/model"
+	"sdm/internal/placement"
+	"sdm/internal/serving"
+	"sdm/internal/simclock"
+	"sdm/internal/uring"
+	"sdm/internal/workload"
+)
+
+// Core store types.
+type (
+	// Config tunes an SDM Store (every §4 Tuning API knob).
+	Config = core.Config
+	// Store is the tiered embedding store — the paper's contribution.
+	Store = core.Store
+	// StoreStats aggregates store counters.
+	StoreStats = core.Stats
+	// OpResult is the virtual-time accounting of one embedding operator.
+	OpResult = core.OpResult
+	// QueryResult is the per-query accounting (user/item IO overlap).
+	QueryResult = core.QueryResult
+	// CacheKind selects the FM cache organization (Fig. 6).
+	CacheKind = core.CacheKind
+	// UpdateMode selects offline vs online (cache-first) model updates.
+	UpdateMode = core.UpdateMode
+	// RingConfig tunes the io_uring-style fast IO path (§4.1).
+	RingConfig = uring.Config
+	// Clock is the discrete-event virtual clock driving simulations.
+	Clock = simclock.Clock
+	// VTime is a virtual timestamp.
+	VTime = simclock.Time
+)
+
+// Model types.
+type (
+	// ModelConfig is a DLRM model configuration (Table 6 shape).
+	ModelConfig = model.Config
+	// Instance is a concrete synthetic model.
+	Instance = model.Instance
+	// TableSpec describes one embedding table.
+	TableSpec = embedding.Spec
+	// Table is a materialized embedding table.
+	Table = embedding.Table
+)
+
+// Workload types.
+type (
+	// WorkloadConfig tunes the query generator.
+	WorkloadConfig = workload.Config
+	// Generator produces inference queries.
+	Generator = workload.Generator
+	// Query is one inference request.
+	Query = workload.Query
+	// TableOp is one embedding operator's index work.
+	TableOp = workload.TableOp
+)
+
+// Placement and serving types.
+type (
+	// PlacementConfig selects the §4.6 policy, DRAM budget and deny-list.
+	PlacementConfig = placement.Config
+	// HostSpec is a serving host SKU (Table 7).
+	HostSpec = serving.HostSpec
+	// HostConfig tunes a simulated host.
+	HostConfig = serving.Config
+	// Host simulates one serving host.
+	Host = serving.Host
+	// HostResult summarizes a host run.
+	HostResult = serving.Result
+	// Technology is an SM technology (Table 1).
+	Technology = blockdev.Technology
+	// TechSpec carries Table 1 parameters.
+	TechSpec = blockdev.TechSpec
+)
+
+// SM technologies (Table 1).
+const (
+	NandFlash = blockdev.NandFlash
+	OptaneSSD = blockdev.OptaneSSD
+	ZSSD      = blockdev.ZSSD
+	DIMM3DXP  = blockdev.DIMM3DXP
+	CXL3DXP   = blockdev.CXL3DXP
+)
+
+// Cache organizations (§4.3 / Fig. 6).
+const (
+	CacheDual         = core.CacheDual
+	CacheMemOptimized = core.CacheMemOptimized
+	CacheCPUOptimized = core.CacheCPUOptimized
+)
+
+// Update modes (§A.3).
+const (
+	UpdateOffline = core.UpdateOffline
+	UpdateOnline  = core.UpdateOnline
+)
+
+// Placement policies (Table 5).
+const (
+	SMOnlyWithCache  = placement.SMOnlyWithCache
+	FixedFMWithCache = placement.FixedFMWithCache
+	PerTableCache    = placement.PerTableCache
+)
+
+// M1 returns the Table 6 configuration of model M1 (143 GB ranking model).
+func M1() ModelConfig { return model.M1() }
+
+// M2 returns the Table 6 configuration of model M2 (150 GB, accelerator).
+func M2() ModelConfig { return model.M2() }
+
+// M3 returns the Table 6 configuration of the future model M3 (1 TB).
+func M3() ModelConfig { return model.M3() }
+
+// Build synthesizes a model instance at the given capacity scale.
+func Build(cfg ModelConfig, scale float64, seed uint64) (*Instance, error) {
+	return model.Build(cfg, scale, seed)
+}
+
+// Open loads a model into a new SDM store.
+func Open(inst *Instance, tables []*Table, cfg Config, clock *Clock) (*Store, error) {
+	return core.Open(inst, tables, cfg, clock)
+}
+
+// NewGenerator builds a query generator for a model instance.
+func NewGenerator(inst *Instance, cfg WorkloadConfig) (*Generator, error) {
+	return workload.NewGenerator(inst, cfg)
+}
+
+// NewHost builds a simulated serving host.
+func NewHost(inst *Instance, store *Store, flat []*Table, gen *Generator, clock *Clock, cfg HostConfig) (*Host, error) {
+	return serving.NewHost(inst, store, flat, gen, clock, cfg)
+}
+
+// Spec returns the Table 1 catalog entry for an SM technology.
+func Spec(t Technology) TechSpec { return blockdev.Spec(t) }
+
+// Catalog returns all Table 1 technologies.
+func Catalog() []TechSpec { return blockdev.Catalog() }
+
+// Host SKUs of Table 7.
+var (
+	HWL  = serving.HWL
+	HWS  = serving.HWS
+	HWSS = serving.HWSS
+	HWAN = serving.HWAN
+	HWAO = serving.HWAO
+	HWF  = serving.HWF
+)
