@@ -1,0 +1,31 @@
+# Targets mirror the CI pipeline (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test race bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) build ./examples/...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark — the CI smoke run.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build vet fmt-check test race bench

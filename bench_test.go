@@ -10,6 +10,8 @@
 package sdm
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"sdm/internal/experiments"
@@ -138,3 +140,61 @@ func BenchmarkWarmupModel(b *testing.B) { runExperiment(b, "warmup") }
 
 // BenchmarkModelUpdate regenerates the §A.3/§3 update-path study.
 func BenchmarkModelUpdate(b *testing.B) { runExperiment(b, "update") }
+
+// BenchmarkQueryEngine measures wall-clock query throughput of the
+// sharded parallel engine at Parallelism=1 vs all cores. Virtual-time
+// accounting is bit-identical at both settings; the ns/op ratio is the
+// real multi-core speedup of the host running the simulation.
+func BenchmarkQueryEngine(b *testing.B) {
+	cores := runtime.GOMAXPROCS(0)
+	settings := []int{1}
+	if cores > 1 {
+		settings = append(settings, cores)
+	}
+	for _, p := range settings {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			cfg := M1()
+			cfg.NumUserTables = 12
+			cfg.NumItemTables = 4
+			cfg.ItemBatch = 8
+			cfg.TotalBytes = 1 << 25
+			inst, err := Build(cfg, 1, 13)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tables, err := inst.Materialize()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var clk Clock
+			store, err := Open(inst, tables, Config{
+				Seed:        13,
+				SMTech:      OptaneSSD,
+				Ring:        RingConfig{SGL: true},
+				CacheBytes:  64 << 20,
+				Parallelism: p,
+			}, &clk)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen, err := NewGenerator(inst, WorkloadConfig{Seed: 13, NumUsers: 400})
+			if err != nil {
+				b.Fatal(err)
+			}
+			qs := gen.GenerateTrace(64)
+			outs := make([][][][]float32, len(qs))
+			for i := range qs {
+				outs[i] = store.AllocOutputs(qs[i])
+			}
+			now := store.LoadDone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := qs[i%len(qs)]
+				if _, err := store.PoolQuery(now, q, outs[i%len(qs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(store.Stats().Lookups)/float64(b.N), "lookups/query")
+		})
+	}
+}

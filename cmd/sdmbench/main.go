@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"sdm/internal/experiments"
 )
@@ -36,6 +38,7 @@ func run(args []string) error {
 		scale   = fs.Float64("scale", 0, "override model capacity scale (0 = preset)")
 		queries = fs.Int("queries", 0, "override query count (0 = preset)")
 		seed    = fs.Uint64("seed", 0, "override RNG seed (0 = preset)")
+		par     = fs.Int("par", 0, "experiments to run concurrently (0 = all cores, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,12 +70,42 @@ func run(args []string) error {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
-	for _, id := range ids {
-		res, err := experiments.Run(id, sc)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+	workers := *par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+
+	// Experiments are independent simulations: run them across a worker
+	// pool and print the results in request order. Each store additionally
+	// fans its query operators across all cores via the sharded engine, so
+	// the numbers are identical to a sequential run.
+	results := make([]experiments.Result, len(ids))
+	errs := make([]error, len(ids))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = experiments.Run(ids[i], sc)
+			}
+		}()
+	}
+	for i := range ids {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, id := range ids {
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", id, errs[i])
 		}
-		res.Print(os.Stdout)
+		results[i].Print(os.Stdout)
 		fmt.Println()
 	}
 	return nil

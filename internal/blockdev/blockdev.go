@@ -327,16 +327,43 @@ func (d *Device) ReadSGL(now simclock.Time, p []byte, off int64) (simclock.Time,
 }
 
 func (d *Device) read(now simclock.Time, p []byte, off int64, sgl bool) (simclock.Time, error) {
+	if err := d.PeekInto(p, off); err != nil {
+		return now, err
+	}
+	return d.AccountRead(now, off, len(p), sgl)
+}
+
+// PeekInto copies [off, off+len(p)) into p without touching the timing
+// model or the counters — the data half of a read. Callers that split a
+// read must pair it with AccountRead for the timing half. PeekInto is safe
+// for concurrent use as long as no Write is in flight; the parallel query
+// engine relies on this to overlap data copies across workers while
+// replaying timing deterministically.
+func (d *Device) PeekInto(p []byte, off int64) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if off < 0 || off+int64(len(p)) > int64(len(d.data)) {
+		return fmt.Errorf("%w: off=%d len=%d cap=%d", ErrOutOfRange, off, len(p), len(d.data))
+	}
+	copy(p, d.data[off:off+int64(len(p))])
+	return nil
+}
+
+// AccountRead books the timing and counters of an n-byte read at off
+// without copying data: the timing half of a read whose bytes were already
+// obtained via PeekInto. Calling Read is equivalent to PeekInto followed by
+// AccountRead, so deferred-timing callers observe bit-identical completion
+// times, stats and RNG draws as inline callers.
+func (d *Device) AccountRead(now simclock.Time, off int64, n int, sgl bool) (simclock.Time, error) {
 	if d.closed {
 		return now, ErrClosed
 	}
-	if off < 0 || off+int64(len(p)) > int64(len(d.data)) {
-		return now, fmt.Errorf("%w: off=%d len=%d cap=%d", ErrOutOfRange, off, len(p), len(d.data))
+	if off < 0 || off+int64(n) > int64(len(d.data)) {
+		return now, fmt.Errorf("%w: off=%d len=%d cap=%d", ErrOutOfRange, off, n, len(d.data))
 	}
-	copy(p, d.data[off:off+int64(len(p))])
-
-	_, span := d.alignedSpan(off, len(p))
-	gr := d.granules(off, len(p))
+	_, span := d.alignedSpan(off, n)
+	gr := d.granules(off, n)
 	done := now
 	for i := 0; i < gr; i++ {
 		if t := d.serviceOne(now, false); t > done {
@@ -345,9 +372,9 @@ func (d *Device) read(now simclock.Time, p []byte, off int64, sgl bool) (simcloc
 	}
 	d.stats.Reads++
 	d.stats.MediaBytes += uint64(span)
-	d.stats.RequestedBytes += uint64(len(p))
+	d.stats.RequestedBytes += uint64(n)
 	if sgl {
-		done += d.busTransfer(len(p))
+		done += d.busTransfer(n)
 	} else {
 		done += d.busTransfer(span)
 	}

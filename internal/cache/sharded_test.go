@@ -1,0 +1,93 @@
+package cache
+
+import "testing"
+
+func TestTableShardedRouting(t *testing.T) {
+	s := NewTableSharded()
+	s.Add(1, NewCPUOptimized(1<<16))
+	s.Add(2, NewCPUOptimized(1<<16))
+	v1 := []byte{1, 2, 3}
+	v2 := []byte{4, 5}
+	s.Put(Key{Table: 1, Row: 7}, v1)
+	s.Put(Key{Table: 2, Row: 7}, v2)
+	dst := make([]byte, 8)
+	n, ok := s.Get(Key{Table: 1, Row: 7}, dst)
+	if !ok || n != 3 || dst[0] != 1 {
+		t.Fatalf("table 1 row lost: n=%d ok=%v", n, ok)
+	}
+	n, ok = s.Get(Key{Table: 2, Row: 7}, dst)
+	if !ok || n != 2 || dst[0] != 4 {
+		t.Fatalf("table 2 row lost: n=%d ok=%v", n, ok)
+	}
+	// Same row id in different tables must be independent entries.
+	if !s.Contains(Key{Table: 1, Row: 7}) || !s.Contains(Key{Table: 2, Row: 7}) {
+		t.Fatal("contains must route per table")
+	}
+	if got := s.Stats(); got.Items != 2 || got.Hits != 2 {
+		t.Fatalf("aggregate stats %+v", got)
+	}
+	if len(s.Tables()) != 2 {
+		t.Fatal("tables accessor")
+	}
+}
+
+func TestTableShardedUnknownTable(t *testing.T) {
+	s := NewTableSharded()
+	s.Add(1, NewCPUOptimized(1<<16))
+	s.Put(Key{Table: 9, Row: 1}, []byte{1}) // dropped
+	if _, ok := s.Get(Key{Table: 9, Row: 1}, make([]byte, 4)); ok {
+		t.Fatal("unknown table must miss")
+	}
+	if s.Contains(Key{Table: 9, Row: 1}) {
+		t.Fatal("unknown table must not contain")
+	}
+	s.PutDirty(Key{Table: 9, Row: 1}, []byte{1}) // dropped, must not panic
+}
+
+func TestTableShardedFlushOrder(t *testing.T) {
+	s := NewTableSharded()
+	s.Add(5, NewCPUOptimized(1<<16))
+	s.Add(2, NewCPUOptimized(1<<16))
+	s.PutDirty(Key{Table: 2, Row: 1}, []byte{2})
+	s.PutDirty(Key{Table: 5, Row: 1}, []byte{5})
+	var order []int32
+	s.FlushDirty(func(k Key, v []byte) { order = append(order, k.Table) })
+	// Registration order (5 then 2), not key order.
+	if len(order) != 2 || order[0] != 5 || order[1] != 2 {
+		t.Fatalf("flush order %v, want [5 2]", order)
+	}
+	// Flushed entries must be clean now.
+	count := 0
+	s.FlushDirty(func(Key, []byte) { count++ })
+	if count != 0 {
+		t.Fatalf("second flush saw %d dirty entries", count)
+	}
+}
+
+func TestTableShardedResetAndReplace(t *testing.T) {
+	s := NewTableSharded()
+	s.Add(1, NewCPUOptimized(1<<16))
+	s.Put(Key{Table: 1, Row: 1}, []byte{1})
+	s.Reset()
+	if s.Stats().Items != 0 {
+		t.Fatal("reset must clear shards")
+	}
+	// Re-adding replaces in place.
+	s.Add(1, NewMemOptimized(1<<16, 64))
+	if s.CPUCostPerGet() != memOptCPUCost {
+		t.Fatal("replaced shard should serve table 1")
+	}
+	if len(s.Tables()) != 1 {
+		t.Fatal("replace must not duplicate the table entry")
+	}
+}
+
+func TestTableShardedEmpty(t *testing.T) {
+	s := NewTableSharded()
+	if s.CPUCostPerGet() != 1.0 {
+		t.Fatal("empty sharded cache cost model")
+	}
+	if got := s.Stats(); got != (Stats{}) {
+		t.Fatalf("empty stats %+v", got)
+	}
+}

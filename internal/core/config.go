@@ -87,6 +87,15 @@ type Config struct {
 	// PooledLenThreshold is Table 4's LenThreshold knob.
 	PooledLenThreshold int
 
+	// Parallelism is the worker count of the sharded query engine: a
+	// query's TableOps fan out across this many workers (the row cache and
+	// pooled cache are sharded by table, so independent operators take no
+	// shared locks), while SM timing is replayed deterministically in
+	// operator order. Virtual-time accounting and store statistics are
+	// bit-identical at every setting; only wall-clock time changes.
+	// 0 or 1 executes operators on the calling goroutine.
+	Parallelism int
+
 	// Placement selects the §4.6 policy, DRAM budget and deny-list.
 	Placement placement.Config
 
@@ -123,6 +132,9 @@ func (c Config) Defaulted() Config {
 	}
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 8 << 20
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
 	}
 	if c.PooledLenThreshold <= 0 {
 		c.PooledLenThreshold = 4

@@ -23,6 +23,35 @@ type OpResult struct {
 	SMReads int
 }
 
+// deferredIO is one SM row read whose data was already copied out during
+// the functional phase; its timing is replayed in operator order.
+type deferredIO struct {
+	dev int
+	off int64
+	n   int
+}
+
+// opCtx is the execution state of one TableOp inside the query engine:
+// operator-local accounting plus the deferred IO trace. Everything an
+// operator mutates through an opCtx is either local to it or owned by its
+// table (cache shard, pooled shard), so operators on distinct tables can
+// run on different workers.
+type opCtx struct {
+	st  *tableState
+	now simclock.Time
+	res OpResult
+	// stats accumulates runtime counter deltas, merged into Store.stats
+	// in operator order after the functional phase.
+	stats Stats
+	// buf is the worker's scratch row buffer.
+	buf []byte
+	// reads is the deferred IO trace (unused in immediate mode).
+	reads []deferredIO
+	// immediate times IOs inline through the legacy path (mmap ablation);
+	// it requires single-worker execution.
+	immediate bool
+}
+
 // PoolOp executes one embedding operator (Algorithm 1 with the full SDM
 // path): for each pool in the op it consults the pooled embedding cache,
 // then per index resolves pruning mappers, probes the FM row cache, reads
@@ -33,40 +62,40 @@ type OpResult struct {
 // caller (the host simulator) can overlap user- and item-side work per
 // Eq. 3.
 func (s *Store) PoolOp(now simclock.Time, op workload.TableOp, out [][]float32) (OpResult, error) {
-	if op.Table < 0 || op.Table >= len(s.tables) {
-		return OpResult{}, fmt.Errorf("core: op table %d out of range", op.Table)
+	s.opBatch[0] = op
+	s.outBatch[0] = out
+	rs, err := s.PoolOps(now, s.opBatch[:], s.outBatch[:])
+	s.outBatch[0] = nil
+	if err != nil {
+		return OpResult{IODone: now}, err
 	}
-	if len(out) != len(op.Pools) {
-		return OpResult{}, fmt.Errorf("core: %d output slices for %d pools", len(out), len(op.Pools))
-	}
-	st := s.tables[op.Table]
-	res := OpResult{IODone: now}
+	return rs[0], nil
+}
 
+// runOp executes one operator's functional phase against c.
+func (s *Store) runOp(c *opCtx, op workload.TableOp, out [][]float32) error {
 	for b, pool := range op.Pools {
-		if len(out[b]) != st.spec.Dim {
-			return res, fmt.Errorf("core: out[%d] dim %d, want %d", b, len(out[b]), st.spec.Dim)
-		}
-		if err := s.poolOne(now, st, pool, out[b], &res); err != nil {
-			return res, err
+		if err := s.poolOne(c, pool, out[b]); err != nil {
+			return err
 		}
 	}
-	s.stats.CPUTime += res.CPUTime
-	return res, nil
+	return nil
 }
 
 // poolOne pools one index sequence for one batch element.
-func (s *Store) poolOne(now simclock.Time, st *tableState, pool []int64, out []float32, res *OpResult) error {
-	// Pooled embedding cache (§4.4, Algorithm 1).
-	usePooled := s.pooled != nil && st.target == placement.SM
+func (s *Store) poolOne(c *opCtx, pool []int64, out []float32) error {
+	st := c.st
+	// Pooled embedding cache (§4.4, Algorithm 1) — sharded per table.
+	usePooled := st.pooled != nil && st.target == placement.SM
 	if usePooled {
-		res.CPUTime += time.Duration(len(pool)) * costHashPerIndex
-		if vec := s.pooled.Get(int32(st.spec.ID), pool); vec != nil {
+		c.res.CPUTime += time.Duration(len(pool)) * costHashPerIndex
+		if vec := st.pooled.Get(int32(st.spec.ID), pool); vec != nil {
 			copy(out, vec)
-			res.CPUTime += perByteCost(costPooledCopyByteNs, 4*len(out))
-			s.stats.PooledHits++
+			c.res.CPUTime += perByteCost(costPooledCopyByteNs, 4*len(out))
+			c.stats.PooledHits++
 			return nil
 		}
-		s.stats.PooledMisses++
+		c.stats.PooledMisses++
 	}
 
 	for i := range out {
@@ -80,83 +109,91 @@ func (s *Store) poolOne(now simclock.Time, st *tableState, pool []int64, out []f
 			return err
 		}
 		n := len(pool)
-		s.stats.Lookups += uint64(n)
-		s.stats.FMDirectReads += uint64(n)
-		res.CPUTime += perByteCost(costFMReadPerByteNs+costDequantPerByteNs, n*st.spec.RowBytes())
+		c.stats.Lookups += uint64(n)
+		c.stats.FMDirectReads += uint64(n)
+		c.res.CPUTime += perByteCost(costFMReadPerByteNs+costDequantPerByteNs, n*st.spec.RowBytes())
 		return nil
 	}
 
 	for _, idx := range pool {
-		s.stats.Lookups++
+		c.stats.Lookups++
 		row := idx
 		// Pruned tables resolve through the FM mapper tensor (§4.5).
 		if st.mapper != nil {
-			res.CPUTime += costMapperLookup
+			c.res.CPUTime += costMapperLookup
 			if row < 0 || row >= int64(len(st.mapper)) {
 				return fmt.Errorf("core: index %d out of mapper range %d", row, len(st.mapper))
 			}
 			m := st.mapper[row]
 			if m < 0 {
-				s.stats.MapperSkips++
+				c.stats.MapperSkips++
 				continue // pruned row: contributes zero
 			}
 			row = int64(m)
 		}
-		if err := s.fetchAndAccumulate(now, st, row, out, res); err != nil {
+		if err := s.fetchAndAccumulate(c, row, out); err != nil {
 			return err
 		}
 	}
 
 	if usePooled {
-		s.pooled.Put(int32(st.spec.ID), pool, out)
-		res.CPUTime += perByteCost(costPooledCopyByteNs, 4*len(out))
+		st.pooled.Put(int32(st.spec.ID), pool, out)
+		c.res.CPUTime += perByteCost(costPooledCopyByteNs, 4*len(out))
 	}
 	return nil
 }
 
-// fetchAndAccumulate obtains stored row bytes (cache → SM) and accumulates
-// the dequantized row into out.
-func (s *Store) fetchAndAccumulate(now simclock.Time, st *tableState, row int64, out []float32, res *OpResult) error {
+// fetchAndAccumulate obtains stored row bytes (cache shard → SM) and
+// accumulates the dequantized row into out. In deferred mode the SM data is
+// copied immediately but the device/ring timing is recorded for replay.
+func (s *Store) fetchAndAccumulate(c *opCtx, row int64, out []float32) error {
+	st := c.st
 	rb := st.rowBytes
-	buf := s.rowBuf[:rb]
+	buf := c.buf[:rb]
 	key := cache.Key{Table: int32(st.spec.ID), Row: row}
 
 	if st.cacheEnabled && !s.cfg.UseMmap {
-		res.CPUTime += time.Duration(float64(costCacheGetBase) * s.rowCache.CPUCostPerGet())
-		if n, ok := s.rowCache.Get(key, buf); ok {
-			res.CPUTime += perByteCost(costDequantPerByteNs, n)
+		c.res.CPUTime += time.Duration(float64(costCacheGetBase) * st.cacheCPUCost)
+		if n, ok := st.cache.Get(key, buf); ok {
+			c.res.CPUTime += perByteCost(costDequantPerByteNs, n)
 			return quant.AccumulateRow(out, buf[:n], st.storedSpec.QType)
 		}
 	}
 
 	dev, off := s.smLocation(st, row)
-	start := now
-	if st.throttle != nil {
-		start = st.throttle.admit(now)
-	}
-
-	var (
-		done simclock.Time
-		err  error
-	)
-	if s.cfg.UseMmap {
-		done, err = s.mmaps[dev].Read(start, buf, off)
+	if c.immediate {
+		start := c.now
+		if st.throttle != nil {
+			start = st.throttle.admit(c.now)
+		}
+		var (
+			done simclock.Time
+			err  error
+		)
+		if s.cfg.UseMmap {
+			done, err = s.mmaps[dev].Read(start, buf, off)
+		} else {
+			done, err = s.rings[dev].SubmitSync(start, buf, off, false)
+		}
+		if err != nil {
+			return fmt.Errorf("core: SM read table %d row %d: %w", st.spec.ID, row, err)
+		}
+		if st.throttle != nil {
+			st.throttle.release(done)
+		}
+		if done > c.res.IODone {
+			c.res.IODone = done
+		}
 	} else {
-		done, err = s.rings[dev].SubmitSync(start, buf, off, false)
+		if err := s.devices[dev].PeekInto(buf, off); err != nil {
+			return fmt.Errorf("core: SM read table %d row %d: %w", st.spec.ID, row, err)
+		}
+		c.reads = append(c.reads, deferredIO{dev: dev, off: off, n: rb})
 	}
-	if err != nil {
-		return fmt.Errorf("core: SM read table %d row %d: %w", st.spec.ID, row, err)
-	}
-	if st.throttle != nil {
-		st.throttle.release(done)
-	}
-	if done > res.IODone {
-		res.IODone = done
-	}
-	res.SMReads++
-	s.stats.SMReads++
+	c.res.SMReads++
+	c.stats.SMReads++
 	if isZeroRow(buf, st.storedSpec.QType) {
-		s.stats.ZeroRowReads++
+		c.stats.ZeroRowReads++
 	}
 
 	if !s.cfg.Ring.SGL && !s.cfg.UseMmap {
@@ -165,23 +202,23 @@ func (s *Store) fetchAndAccumulate(now simclock.Time, st *tableState, row int64,
 		// needed for every X data pulled in from SM" (§4.3).
 		blk := s.devices[dev].Spec().AccessGranularity
 		if blk > rb {
-			s.stats.FMBytesMoved += uint64(blk + rb)
-			res.CPUTime += perByteCost(costMemcpyPerByteNs, blk+rb)
+			c.stats.FMBytesMoved += uint64(blk + rb)
+			c.res.CPUTime += perByteCost(costMemcpyPerByteNs, blk+rb)
 		} else {
-			s.stats.FMBytesMoved += uint64(2 * rb)
-			res.CPUTime += perByteCost(costMemcpyPerByteNs, 2*rb)
+			c.stats.FMBytesMoved += uint64(2 * rb)
+			c.res.CPUTime += perByteCost(costMemcpyPerByteNs, 2*rb)
 		}
 	} else {
 		// SGL lands the row directly in cache storage (§4.3).
-		s.stats.FMBytesMoved += uint64(rb)
-		res.CPUTime += perByteCost(costMemcpyPerByteNs, rb)
+		c.stats.FMBytesMoved += uint64(rb)
+		c.res.CPUTime += perByteCost(costMemcpyPerByteNs, rb)
 	}
 
 	if st.cacheEnabled && !s.cfg.UseMmap {
-		s.rowCache.Put(key, buf)
-		res.CPUTime += costCachePut
+		st.cache.Put(key, buf)
+		c.res.CPUTime += costCachePut
 	}
-	res.CPUTime += perByteCost(costDequantPerByteNs, rb)
+	c.res.CPUTime += perByteCost(costDequantPerByteNs, rb)
 	return quant.AccumulateRow(out, buf, st.storedSpec.QType)
 }
 
@@ -212,9 +249,9 @@ func isZeroRow(row []byte, qt quant.Type) bool {
 	}
 }
 
-// PoolQuery executes every operator of a query and returns the aggregate
-// accounting: the user-side and item-side IO completions separately (so the
-// caller can apply Eq. 3's overlap) and the summed CPU time.
+// QueryResult is the aggregate accounting of one query: the user-side and
+// item-side IO completions separately (so the caller can apply Eq. 3's
+// overlap) and the summed CPU time.
 type QueryResult struct {
 	UserIODone simclock.Time
 	ItemIODone simclock.Time
@@ -225,14 +262,16 @@ type QueryResult struct {
 // PoolQuery runs all ops of q at virtual time now, writing pooled outputs
 // into outs (outs[i][b] is op i, pool b; dims must match). Ops are issued
 // concurrently (inter-op parallelism): each op sees the same issue time.
+// With cfg.Parallelism > 1 the ops also execute concurrently on the host
+// running the simulation; accounting is identical either way.
 func (s *Store) PoolQuery(now simclock.Time, q workload.Query, outs [][][]float32) (QueryResult, error) {
-	var res QueryResult
-	res.UserIODone, res.ItemIODone = now, now
+	res := QueryResult{UserIODone: now, ItemIODone: now}
+	rs, err := s.PoolOps(now, q.Ops, outs)
+	if err != nil {
+		return res, err
+	}
 	for i, op := range q.Ops {
-		r, err := s.PoolOp(now, op, outs[i])
-		if err != nil {
-			return res, err
-		}
+		r := rs[i]
 		res.CPUTime += r.CPUTime
 		res.SMReads += r.SMReads
 		if op.Table < s.inst.Config.NumUserTables {

@@ -13,14 +13,18 @@ import (
 	"sdm/internal/pooledcache"
 	"sdm/internal/simclock"
 	"sdm/internal/uring"
+	"sdm/internal/workload"
 )
 
 // Store is the SDM tiered embedding store. It owns the SM devices, the FM
 // row cache, the pooled embedding cache and the per-table placement state,
 // and serves pooled embedding lookups with virtual-time accounting.
 //
-// Store is not safe for concurrent use: the discrete-event simulation that
-// drives it is single-threaded by design.
+// Store methods must not be called concurrently: the discrete-event
+// simulation that drives it is externally single-threaded. Internally,
+// PoolQuery/PoolOps fan a query's operators across cfg.Parallelism workers
+// (see parallel.go); the caches are sharded by table so that internal
+// concurrency is lock-free and its accounting deterministic.
 type Store struct {
 	cfg   Config
 	inst  *model.Instance
@@ -30,8 +34,9 @@ type Store struct {
 	rings   []*uring.SyncRing
 	mmaps   []*uring.Mmap
 
-	rowCache cache.RowCache
-	pooled   *pooledcache.Cache
+	// rowCache is the table-sharded aggregate view of the per-table FM
+	// row-cache shards (the hot path uses tableState.cache directly).
+	rowCache *cache.TableSharded
 
 	plan   *placement.Plan
 	tables []*tableState
@@ -42,10 +47,25 @@ type Store struct {
 
 	stats Stats
 
-	// rowBuf is a scratch buffer sized to the largest SM row.
-	rowBuf []byte
-	// accBuf is a scratch accumulator sized to the largest dim.
-	accBuf []float32
+	// maxRowBytes sizes per-worker scratch row buffers.
+	maxRowBytes int
+	// scratch holds one reusable row buffer per engine worker.
+	scratch []*opScratch
+	// opStamp/opGen detect duplicate tables in an op batch without
+	// allocating (stamp[t] == gen means table t was already seen).
+	opStamp []uint32
+	opGen   uint32
+	// ctxBuf holds reusable per-op execution contexts (their deferred-IO
+	// slices keep capacity across queries), and opBatch/outBatch back the
+	// single-op PoolOp wrapper, so the query hot path is allocation-light.
+	ctxBuf   []opCtx
+	opBatch  [1]workload.TableOp
+	outBatch [1][][]float32
+}
+
+// opScratch is the per-worker scratch state of the query engine.
+type opScratch struct {
+	buf []byte
 }
 
 // tableState is the runtime placement of one table.
@@ -70,6 +90,15 @@ type tableState struct {
 	// mapper is the pruned-index mapping tensor kept in FM (§4.5); nil
 	// when the table is unpruned or was de-pruned at load.
 	mapper []int32
+
+	// cache is this table's FM row-cache shard (nil when caching is off
+	// for the table) and cacheCPUCost its per-probe cost model.
+	cache        cache.RowCache
+	cacheCPUCost float64
+
+	// pooled is this table's pooled-embedding-cache shard (§4.4), nil
+	// unless the pooled cache is enabled and the table is SM-resident.
+	pooled *pooledcache.Cache
 
 	// throttle caps per-table outstanding IOs.
 	throttle *ioThrottle
@@ -201,7 +230,7 @@ func (s *Store) loadTables(tables []*embedding.Table) error {
 	// Second pass: write SM residents, striping rows across devices.
 	cursor := make([]int64, s.cfg.NumDevices)
 	var loadEnd simclock.Time
-	var maxRowBytes, maxDim int
+	var maxRowBytes int
 	for _, ld := range loads {
 		st := s.tables[ld.idx]
 		st.smBase = make([]int64, s.cfg.NumDevices)
@@ -246,33 +275,96 @@ func (s *Store) loadTables(tables []*embedding.Table) error {
 		if st.rowBytes > maxRowBytes {
 			maxRowBytes = st.rowBytes
 		}
-		if st.storedSpec.Dim > maxDim {
-			maxDim = st.storedSpec.Dim
-		}
-	}
-	for _, st := range s.tables {
-		if st.fm != nil && st.spec.Dim > maxDim {
-			maxDim = st.spec.Dim
-		}
 	}
 	if maxRowBytes < 4096 {
 		maxRowBytes = 4096
 	}
-	s.rowBuf = make([]byte, maxRowBytes)
-	s.accBuf = make([]float32, maxDim+1)
+	s.maxRowBytes = maxRowBytes
+	s.opStamp = make([]uint32, len(s.tables))
 	s.loadDone = loadEnd
 	s.stats.LoadDuration = loadEnd.Duration()
 	return nil
 }
 
 // buildCaches sizes the FM caches after mapper tensors take their cut.
+// Both the row cache and the pooled cache are sharded by table: each
+// cache-enabled SM table gets its own shard with a budget proportional to
+// its stored bytes. Independent table operators therefore share no cache
+// state, which is what lets the parallel query engine run them on any
+// worker in any order with bit-identical results.
 func (s *Store) buildCaches() error {
 	eff := s.cfg.CacheBytes - s.stats.MapperFMBytes - s.cfg.PooledCacheBytes
 	if eff < 1<<12 {
 		eff = 1 << 12
 	}
 	s.stats.EffCacheBytes = eff
-	slot := s.memOptSlotBytes()
+
+	// Row-cache shards, budget ∝ stored SM bytes.
+	s.rowCache = cache.NewTableSharded()
+	var cached []*tableState
+	var totalBytes int64
+	for _, st := range s.tables {
+		if st.target != placement.SM || !st.cacheEnabled {
+			continue
+		}
+		cached = append(cached, st)
+		totalBytes += st.storedSpec.SizeBytes()
+	}
+	remaining := eff
+	for i, st := range cached {
+		budget := remaining
+		if i < len(cached)-1 {
+			budget = int64(float64(eff) * float64(st.storedSpec.SizeBytes()) / float64(totalBytes))
+		}
+		if budget < 1<<12 {
+			budget = 1 << 12
+		}
+		remaining -= budget
+		if remaining < 0 {
+			remaining = 0
+		}
+		shard, err := s.mkCacheShard(budget, st.rowBytes)
+		if err != nil {
+			return err
+		}
+		st.cache = shard
+		st.cacheCPUCost = shard.CPUCostPerGet()
+		s.rowCache.Add(int32(st.spec.ID), shard)
+	}
+
+	// Pooled-cache shards: the §4.4 budget splits evenly across the SM
+	// tables it can serve.
+	if s.cfg.PooledCacheBytes > 0 {
+		var smTables []*tableState
+		for _, st := range s.tables {
+			if st.target == placement.SM {
+				smTables = append(smTables, st)
+			}
+		}
+		if n := int64(len(smTables)); n > 0 {
+			pcfg := s.cfg.pooledConfig()
+			pcfg.CapacityBytes /= n
+			if pcfg.CapacityBytes < 1<<12 {
+				pcfg.CapacityBytes = 1 << 12
+			}
+			for _, st := range smTables {
+				st.pooled = pooledcache.New(pcfg)
+			}
+		}
+	}
+	return nil
+}
+
+// mkCacheShard builds one table's row-cache shard. Rows of a table are
+// uniform-size, so the dual organization resolves per table: a shard holds
+// either small rows (memory-optimized, slots sized to the row) or large
+// rows (CPU-optimized) — the paper's dim≤255 routing with no per-probe
+// dispatch.
+func (s *Store) mkCacheShard(budget int64, rowBytes int) (cache.RowCache, error) {
+	slot := rowBytes
+	if slot > s.cfg.CacheSplitBytes {
+		slot = s.cfg.CacheSplitBytes
+	}
 	mk := func(budget int64) cache.RowCache {
 		switch s.cfg.CacheKind {
 		case CacheMemOptimized:
@@ -280,72 +372,16 @@ func (s *Store) buildCaches() error {
 		case CacheCPUOptimized:
 			return cache.NewCPUOptimized(budget)
 		default:
-			// Split the dual budget by where rows will actually land.
-			memShare, cpuShare := s.dualShares(budget)
-			return cache.NewDual(memShare, cpuShare, slot)
+			if rowBytes <= s.cfg.CacheSplitBytes {
+				return cache.NewMemOptimized(budget, slot)
+			}
+			return cache.NewCPUOptimized(budget)
 		}
 	}
 	if s.cfg.CachePartitions > 1 {
-		p, err := cache.NewPartitioned(s.cfg.CachePartitions, eff, mk)
-		if err != nil {
-			return err
-		}
-		s.rowCache = p
-	} else {
-		s.rowCache = mk(eff)
+		return cache.NewPartitioned(s.cfg.CachePartitions, budget, mk)
 	}
-	if s.cfg.PooledCacheBytes > 0 {
-		s.pooled = pooledcache.New(s.cfg.pooledConfig())
-	}
-	return nil
-}
-
-// memOptSlotBytes sizes memory-optimized cache slots to the largest
-// small-row SM table instead of the routing threshold, so fixed slots do
-// not waste slab space when rows are much smaller than 255 B.
-func (s *Store) memOptSlotBytes() int {
-	slot := 0
-	for _, st := range s.tables {
-		if st.target != placement.SM {
-			continue
-		}
-		if st.rowBytes <= s.cfg.CacheSplitBytes && st.rowBytes > slot {
-			slot = st.rowBytes
-		}
-	}
-	if slot == 0 {
-		slot = s.cfg.CacheSplitBytes
-	}
-	return slot
-}
-
-// dualShares splits a dual-cache budget proportionally to the SM bytes of
-// small-row vs large-row tables, so neither side is starved.
-func (s *Store) dualShares(budget int64) (memB, cpuB int64) {
-	var small, large int64
-	for _, st := range s.tables {
-		if st.target != placement.SM {
-			continue
-		}
-		if st.rowBytes <= s.cfg.CacheSplitBytes {
-			small += st.storedSpec.SizeBytes()
-		} else {
-			large += st.storedSpec.SizeBytes()
-		}
-	}
-	total := small + large
-	if total == 0 {
-		return budget / 2, budget / 2
-	}
-	memB = int64(float64(budget) * float64(small) / float64(total))
-	if memB < 1<<12 {
-		memB = 1 << 12
-	}
-	cpuB = budget - memB
-	if cpuB < 1<<12 {
-		cpuB = 1 << 12
-	}
-	return memB, cpuB
+	return mk(budget), nil
 }
 
 // Config returns the (defaulted) store configuration.
@@ -366,12 +402,16 @@ func (s *Store) Stats() Stats { return s.stats }
 // CacheStats returns the FM row-cache counters.
 func (s *Store) CacheStats() cache.Stats { return s.rowCache.Stats() }
 
-// PooledStats returns the pooled-cache counters (zero if disabled).
+// PooledStats sums the pooled-cache counters across the per-table shards
+// (zero if disabled).
 func (s *Store) PooledStats() pooledcache.Stats {
-	if s.pooled == nil {
-		return pooledcache.Stats{}
+	var agg pooledcache.Stats
+	for _, st := range s.tables {
+		if st.pooled != nil {
+			agg = agg.Add(st.pooled.Stats())
+		}
 	}
-	return s.pooled.Stats()
+	return agg
 }
 
 // DeviceStats sums the counters across SM devices.

@@ -55,24 +55,23 @@ func (s *Store) UpdateRow(now simclock.Time, table int, row int64, value []byte,
 		return now, fmt.Errorf("core: update row size %d, want %d", len(value), st.rowBytes)
 	}
 	key := cache.Key{Table: int32(st.spec.ID), Row: row}
-	switch mode {
-	case UpdateOnline:
+	if mode == UpdateOnline && st.cache != nil {
 		// Cache-first: readers see the new value immediately; SM is
-		// refreshed by FlushUpdates.
-		s.rowCache.PutDirty(key, value)
+		// refreshed by FlushUpdates. Tables without a cache shard
+		// (PerTableCache deny-list) fall through to the direct SM write.
+		st.cache.PutDirty(key, value)
 		return now, nil
-	default:
-		dev, off := s.smLocation(st, row)
-		done, err := s.devices[dev].Write(now, value, off)
-		if err != nil {
-			return now, err
-		}
-		// Invalidate (overwrite) any stale cached copy.
-		if st.cacheEnabled {
-			s.rowCache.Put(key, value)
-		}
-		return done, nil
 	}
+	dev, off := s.smLocation(st, row)
+	done, err := s.devices[dev].Write(now, value, off)
+	if err != nil {
+		return now, err
+	}
+	// Invalidate (overwrite) any stale cached copy.
+	if st.cache != nil {
+		st.cache.Put(key, value)
+	}
+	return done, nil
 }
 
 // FlushUpdates drains dirty cache entries to SM (the §A.3 write-back path)

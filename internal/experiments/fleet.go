@@ -17,12 +17,13 @@ import (
 )
 
 // hostQPS builds a host over the given store/flat tables and measures the
-// max QPS at a p95 latency budget.
+// max QPS at a p95 latency budget. Stores run the sharded query engine on
+// all cores (accounting is parallelism-invariant).
 func hostQPS(sc Scale, inst *model.Instance, tables []*embedding.Table, scfg *core.Config, hcfg serving.Config, budget time.Duration, hiQPS float64) (float64, serving.Result, error) {
 	var clk simclock.Clock
 	var store *core.Store
 	if scfg != nil {
-		s, err := core.Open(inst, tables, *scfg, &clk)
+		s, err := core.Open(inst, tables, engineParallelism(*scfg), &clk)
 		if err != nil {
 			return 0, serving.Result{}, err
 		}
@@ -93,39 +94,58 @@ func Fig6(sc Scale) (Result, error) {
 	r := &tableResult{id: "fig6"}
 	budget := 2 * time.Millisecond
 
-	r.rows = append(r.rows, "cache organization (same FM budget):")
-	for _, kind := range []core.CacheKind{core.CacheMemOptimized, core.CacheCPUOptimized, core.CacheDual} {
-		scfg := &core.Config{
-			// A tight FM budget exposes the per-item overhead trade-off.
-			Seed: sc.Seed, CacheKind: kind, CacheBytes: 1 << 20,
-			Ring: uring.Config{SGL: true},
-		}
-		qps, res, err := hostQPS(sc, inst, tables, scfg, serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: sc.Seed}, budget, 20000)
-		if err != nil {
-			return nil, err
-		}
-		r.rows = append(r.rows, fmt.Sprintf("  %-14s qps=%6.0f p95=%6.2fms hit=%5.1f%%",
-			kind, qps, res.Latency.P95()*1e3, res.CacheHitRate*100))
-	}
-
-	r.rows = append(r.rows, "direct DRAM placement budget (FixedFM policy):")
+	// Every configuration is an independent simulated host; measure the
+	// whole panel concurrently and keep the presentation order.
+	kinds := []core.CacheKind{core.CacheMemOptimized, core.CacheCPUOptimized, core.CacheDual}
+	fracs := []float64{0, 0.25, 0.5, 1.0}
+	kindRows := make([]string, len(kinds))
+	fracRows := make([]string, len(fracs))
 	smBytes := inst.UserBytes()
-	for _, frac := range []float64{0, 0.25, 0.5, 1.0} {
-		scfg := &core.Config{
-			Seed: sc.Seed, CacheBytes: 8 << 20,
-			Ring: uring.Config{SGL: true},
-			Placement: placement.Config{
-				Policy: placement.FixedFMWithCache, UserTablesOnly: true,
-				DRAMBudget: int64(frac * float64(smBytes)),
-			},
-		}
-		qps, res, err := hostQPS(sc, inst, tables, scfg, serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: sc.Seed}, budget, 20000)
-		if err != nil {
-			return nil, err
-		}
-		r.rows = append(r.rows, fmt.Sprintf("  dram=%3.0f%%ofSM   qps=%6.0f p95=%6.2fms smReads/qry=%5.1f",
-			frac*100, qps, res.Latency.P95()*1e3, res.SMReadsPerQry))
+	var runs []func() error
+	for i, kind := range kinds {
+		i, kind := i, kind
+		runs = append(runs, func() error {
+			scfg := &core.Config{
+				// A tight FM budget exposes the per-item overhead trade-off.
+				Seed: sc.Seed, CacheKind: kind, CacheBytes: 1 << 20,
+				Ring: uring.Config{SGL: true},
+			}
+			qps, res, err := hostQPS(sc, inst, tables, scfg, serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: sc.Seed}, budget, 20000)
+			if err != nil {
+				return err
+			}
+			kindRows[i] = fmt.Sprintf("  %-14s qps=%6.0f p95=%6.2fms hit=%5.1f%%",
+				kind, qps, res.Latency.P95()*1e3, res.CacheHitRate*100)
+			return nil
+		})
 	}
+	for i, frac := range fracs {
+		i, frac := i, frac
+		runs = append(runs, func() error {
+			scfg := &core.Config{
+				Seed: sc.Seed, CacheBytes: 8 << 20,
+				Ring: uring.Config{SGL: true},
+				Placement: placement.Config{
+					Policy: placement.FixedFMWithCache, UserTablesOnly: true,
+					DRAMBudget: int64(frac * float64(smBytes)),
+				},
+			}
+			qps, res, err := hostQPS(sc, inst, tables, scfg, serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: sc.Seed}, budget, 20000)
+			if err != nil {
+				return err
+			}
+			fracRows[i] = fmt.Sprintf("  dram=%3.0f%%ofSM   qps=%6.0f p95=%6.2fms smReads/qry=%5.1f",
+				frac*100, qps, res.Latency.P95()*1e3, res.SMReadsPerQry)
+			return nil
+		})
+	}
+	if err := inParallel(runs...); err != nil {
+		return nil, err
+	}
+	r.rows = append(r.rows, "cache organization (same FM budget):")
+	r.rows = append(r.rows, kindRows...)
+	r.rows = append(r.rows, "direct DRAM placement budget (FixedFM policy):")
+	r.rows = append(r.rows, fracRows...)
 	r.notes = append(r.notes,
 		"paper: dual cache routes dim≤255B to memory-optimized; direct DRAM placement can raise QPS considerably")
 	return r, nil
@@ -149,19 +169,31 @@ func Tab8(sc Scale) (Result, error) {
 	}
 	budget := 25 * time.Millisecond
 
-	// Baseline: all tables flat in DRAM on the big host.
-	baseQPS, _, err := hostQPS(sc, inst, tables, nil,
-		serving.Config{Spec: serving.HWL(), InterOp: true, Seed: sc.Seed}, budget, 100000)
-	if err != nil {
-		return nil, err
-	}
-	// SDM: user tables on Nand, FM cache, small host.
-	scfg := &core.Config{
-		Seed: sc.Seed, SMTech: blockdev.NandFlash, CacheBytes: 32 << 20,
-		Ring: uring.Config{SGL: true},
-	}
-	sdmQPS, sdmRes, err := hostQPS(sc, inst, tables, scfg,
-		serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: sc.Seed}, budget, 100000)
+	// The two fleets are independent hosts: measure them concurrently.
+	var (
+		baseQPS, sdmQPS float64
+		sdmRes          serving.Result
+	)
+	err = inParallel(
+		func() error {
+			// Baseline: all tables flat in DRAM on the big host.
+			var err error
+			baseQPS, _, err = hostQPS(sc, inst, tables, nil,
+				serving.Config{Spec: serving.HWL(), InterOp: true, Seed: sc.Seed}, budget, 100000)
+			return err
+		},
+		func() error {
+			// SDM: user tables on Nand, FM cache, small host.
+			scfg := &core.Config{
+				Seed: sc.Seed, SMTech: blockdev.NandFlash, CacheBytes: 32 << 20,
+				Ring: uring.Config{SGL: true},
+			}
+			var err error
+			sdmQPS, sdmRes, err = hostQPS(sc, inst, tables, scfg,
+				serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: sc.Seed}, budget, 100000)
+			return err
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -211,20 +243,33 @@ func Tab9(sc Scale) (Result, error) {
 	}
 	budget := 20 * time.Millisecond
 
-	scaleOutQPS, _, err := hostQPS(sc, inst, tables, nil,
-		serving.Config{Spec: serving.HWAN(), InterOp: true, RemoteUserPath: true, Seed: sc.Seed}, budget, 200000)
-	if err != nil {
-		return nil, err
-	}
-	nandCfg := &core.Config{Seed: sc.Seed, SMTech: blockdev.NandFlash, CacheBytes: 8 << 20, Ring: uring.Config{SGL: true}}
-	nandQPS, _, err := hostQPS(sc, inst, tables, nandCfg,
-		serving.Config{Spec: serving.HWAN(), InterOp: true, Seed: sc.Seed}, budget, 200000)
-	if err != nil {
-		return nil, err
-	}
-	optCfg := &core.Config{Seed: sc.Seed, SMTech: blockdev.OptaneSSD, CacheBytes: 8 << 20, Ring: uring.Config{SGL: true}}
-	optQPS, optRes, err := hostQPS(sc, inst, tables, optCfg,
-		serving.Config{Spec: serving.HWAO(), InterOp: true, Seed: sc.Seed}, budget, 200000)
+	// Three independent fleets: measure them concurrently.
+	var (
+		scaleOutQPS, nandQPS, optQPS float64
+		optRes                       serving.Result
+	)
+	err = inParallel(
+		func() error {
+			var err error
+			scaleOutQPS, _, err = hostQPS(sc, inst, tables, nil,
+				serving.Config{Spec: serving.HWAN(), InterOp: true, RemoteUserPath: true, Seed: sc.Seed}, budget, 200000)
+			return err
+		},
+		func() error {
+			nandCfg := &core.Config{Seed: sc.Seed, SMTech: blockdev.NandFlash, CacheBytes: 8 << 20, Ring: uring.Config{SGL: true}}
+			var err error
+			nandQPS, _, err = hostQPS(sc, inst, tables, nandCfg,
+				serving.Config{Spec: serving.HWAN(), InterOp: true, Seed: sc.Seed}, budget, 200000)
+			return err
+		},
+		func() error {
+			optCfg := &core.Config{Seed: sc.Seed, SMTech: blockdev.OptaneSSD, CacheBytes: 8 << 20, Ring: uring.Config{SGL: true}}
+			var err error
+			optQPS, optRes, err = hostQPS(sc, inst, tables, optCfg,
+				serving.Config{Spec: serving.HWAO(), InterOp: true, Seed: sc.Seed}, budget, 200000)
+			return err
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -341,11 +386,11 @@ func Deprune(sc Scale) (Result, error) {
 			CacheBytes: 600 << 10, Ring: uring.Config{SGL: true},
 		}
 	}
-	pruned, err := runStoreTraceOn(sc, mk(false), inst, tables)
-	if err != nil {
-		return nil, err
-	}
-	depruned, err := runStoreTraceOn(sc, mk(true), inst, tables)
+	var pruned, depruned *storeRun
+	err = inParallel(
+		func() (err error) { pruned, err = runStoreTraceOn(sc, mk(false), inst, tables); return },
+		func() (err error) { depruned, err = runStoreTraceOn(sc, mk(true), inst, tables); return },
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -392,11 +437,11 @@ func Dequant(sc Scale) (Result, error) {
 			CacheBytes: 2 << 20, Ring: uring.Config{SGL: true},
 		}
 	}
-	base, err := runStoreTraceOn(sc, mk(false), inst, tables)
-	if err != nil {
-		return nil, err
-	}
-	dq, err := runStoreTraceOn(sc, mk(true), inst, tables)
+	var base, dq *storeRun
+	err = inParallel(
+		func() (err error) { base, err = runStoreTraceOn(sc, mk(false), inst, tables); return },
+		func() (err error) { dq, err = runStoreTraceOn(sc, mk(true), inst, tables); return },
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -437,11 +482,14 @@ func InterOp(sc Scale) (Result, error) {
 		return hostQPS(sc, inst, tables, scfg,
 			serving.Config{Spec: serving.HWSS(), InterOp: interOp, Seed: sc.Seed}, budget, 20000)
 	}
-	serialQPS, serialRes, err := run(false)
-	if err != nil {
-		return nil, err
-	}
-	parQPS, parRes, err := run(true)
+	var (
+		serialQPS, parQPS float64
+		serialRes, parRes serving.Result
+	)
+	err = inParallel(
+		func() (err error) { serialQPS, serialRes, err = run(false); return },
+		func() (err error) { parQPS, parRes, err = run(true); return },
+	)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"sdm/internal/core"
+)
+
+// inParallel runs independent measurement closures concurrently — one
+// goroutine each; every closure owns its clock, store, generator and host,
+// so no state is shared — and returns the first error in argument order.
+// Because each simulated host is deterministic in isolation, results are
+// identical to running the closures sequentially.
+func inParallel(fns ...func() error) error {
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	for i, fn := range fns {
+		wg.Add(1)
+		go func(i int, fn func() error) {
+			defer wg.Done()
+			errs[i] = fn()
+		}(i, fn)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// engineParallelism fills in the store's query-engine worker count for
+// experiment runs: all cores unless the scenario pinned a value. The
+// engine's accounting is parallelism-invariant, so this only affects
+// wall-clock time.
+func engineParallelism(cfg core.Config) core.Config {
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return cfg
+}

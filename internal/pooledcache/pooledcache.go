@@ -60,6 +60,20 @@ type Stats struct {
 	HitLenSum uint64
 }
 
+// Add returns the field-wise sum of s and o — used to aggregate the
+// per-table shard counters of a sharded pooled cache.
+func (s Stats) Add(o Stats) Stats {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Puts += o.Puts
+	s.Skipped += o.Skipped
+	s.Evictions += o.Evictions
+	s.UsedBytes += o.UsedBytes
+	s.Items += o.Items
+	s.HitLenSum += o.HitLenSum
+	return s
+}
+
 // HitRate returns hits/(hits+misses+skipped) — the fraction of all pooling
 // operations served from the pooled cache, matching Table 4's accounting.
 func (s Stats) HitRate() float64 {

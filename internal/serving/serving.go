@@ -78,6 +78,12 @@ type Config struct {
 	// ops of a query issue concurrently. Disabled, ops execute serially
 	// and SM latencies accumulate (the −20% latency ablation).
 	InterOp bool
+	// Parallelism sets the store's query-engine worker count for this
+	// host: with InterOp, the store-backed ops of a query execute as one
+	// batch fanned across that many OS workers. 0 keeps the store's
+	// configured value; negative selects GOMAXPROCS. Virtual-time
+	// accounting is identical at every setting (see core.Config).
+	Parallelism int
 	// RemoteUserPath models the scale-out baseline (§5.2 / Lui et al.):
 	// user embeddings are fetched from remote HW-S shards over the
 	// network instead of local SDM.
@@ -111,6 +117,9 @@ type Host struct {
 
 	// reusable output buffers sized lazily per op
 	outBufs map[int][][]float32
+	// reusable batch slices for the inter-op store path
+	batchOps  []workload.TableOp
+	batchOuts [][][]float32
 }
 
 // NewHost builds a host. store may be nil when flat tables are provided
@@ -128,6 +137,9 @@ func NewHost(inst *model.Instance, store *core.Store, flat []*embedding.Table, g
 	top, err := mlp.New(inst.MLPWidths, cfg.Seed^0xabcd)
 	if err != nil {
 		return nil, fmt.Errorf("serving: top MLP: %w", err)
+	}
+	if store != nil && cfg.Parallelism != 0 {
+		store.SetParallelism(cfg.Parallelism)
 	}
 	return &Host{
 		cfg:     cfg,
@@ -207,6 +219,9 @@ func (h *Host) outsFor(op workload.TableOp) [][]float32 {
 
 // execQuery runs one query arriving at t0 and returns its completion time.
 func (h *Host) execQuery(t0 simclock.Time, q workload.Query) (simclock.Time, error) {
+	if h.cfg.InterOp && h.store != nil && !h.cfg.RemoteUserPath {
+		return h.execQueryBatched(t0, q)
+	}
 	nUser := h.inst.Config.NumUserTables
 	var (
 		userDone = t0
@@ -258,6 +273,13 @@ func (h *Host) execQuery(t0 simclock.Time, q workload.Query) (simclock.Time, err
 			itemDone = opDone
 		}
 	}
+	return h.finishQuery(t0, userDone, itemDone, cpu), nil
+}
+
+// finishQuery books the embedding CPU on a core, applies Eq. 3's user/item
+// overlap and the dense interaction compute, and returns the query's
+// completion time. Shared by the per-op and batched execution paths.
+func (h *Host) finishQuery(t0, userDone, itemDone simclock.Time, cpu time.Duration) simclock.Time {
 	// Embedding CPU work books onto a core (queueing under load).
 	_, cpuDone := h.coreAdmit(t0, cpu)
 	// Eq. 3: the top MLP needs both sides; the user-side SM time hides
@@ -271,7 +293,53 @@ func (h *Host) execQuery(t0 simclock.Time, q workload.Query) (simclock.Time, err
 	}
 	done := denseStart + simclock.Time(dt)
 	h.accelFree = done
-	return done, nil
+	return done
+}
+
+// execQueryBatched is the inter-op path when an SDM store backs the user
+// side: the store-backed ops issue as a single batch through the store's
+// sharded query engine (which fans them across its workers), and the
+// FM/accelerator-resident ops pool inline. The accounting is identical to
+// per-op submission — the engine replays SM timing in operator order — so
+// enabling host parallelism never changes measured virtual time.
+func (h *Host) execQueryBatched(t0 simclock.Time, q workload.Query) (simclock.Time, error) {
+	nUser := h.inst.Config.NumUserTables
+	var (
+		userDone = t0
+		cpu      time.Duration
+	)
+	h.batchOps = h.batchOps[:0]
+	h.batchOuts = h.batchOuts[:0]
+	for _, op := range q.Ops {
+		if op.Table < nUser {
+			h.batchOps = append(h.batchOps, op)
+			h.batchOuts = append(h.batchOuts, h.outsFor(op))
+		}
+	}
+	if len(h.batchOps) > 0 {
+		rs, err := h.store.PoolOps(t0, h.batchOps, h.batchOuts)
+		if err != nil {
+			return t0, err
+		}
+		for _, r := range rs {
+			cpu += r.CPUTime
+			if r.IODone > userDone {
+				userDone = r.IODone
+			}
+		}
+	}
+	for _, op := range q.Ops {
+		if op.Table < nUser {
+			continue
+		}
+		opCPU, err := h.poolFlat(op)
+		if err != nil {
+			return t0, err
+		}
+		cpu += opCPU
+	}
+	// Item-side ops are FM/accelerator-resident here, completing at t0.
+	return h.finishQuery(t0, userDone, t0, cpu), nil
 }
 
 // poolFlat pools an op from flat FM tables and returns its CPU cost.

@@ -199,6 +199,33 @@ func TestMaxQPSAtLatency(t *testing.T) {
 	}
 }
 
+func TestHostParallelismDeterministic(t *testing.T) {
+	// The host's measured virtual-time numbers must not depend on how many
+	// OS workers the store's query engine uses.
+	in, tables := fixture(t)
+	run := func(par int) (Result, core.Stats) {
+		h, store := sdmHost(t, in, tables,
+			Config{Spec: HWSS(), InterOp: true, Seed: 9, Parallelism: par},
+			core.Config{Seed: 9, Ring: uring.Config{SGL: true}, CacheBytes: 1 << 16, PooledCacheBytes: 1 << 16})
+		res, err := h.RunOpenLoop(200, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, store.Stats()
+	}
+	r1, s1 := run(1)
+	r4, s4 := run(4)
+	if s1 != s4 {
+		t.Fatalf("store stats diverged across parallelism:\n%+v\n%+v", s1, s4)
+	}
+	if r1.AchievedQPS != r4.AchievedQPS ||
+		r1.Latency.P50() != r4.Latency.P50() ||
+		r1.Latency.P99() != r4.Latency.P99() ||
+		r1.SMReadsPerQry != r4.SMReadsPerQry {
+		t.Fatalf("host results diverged: %v vs %v", r1, r4)
+	}
+}
+
 func TestNewHostValidation(t *testing.T) {
 	in, _ := fixture(t)
 	var clk simclock.Clock

@@ -54,10 +54,9 @@ func (r *SyncRing) cpuPerIO() time.Duration {
 	return per
 }
 
-// SubmitSync performs one IO issued at virtual time now and returns its
-// completion time.
-func (r *SyncRing) SubmitSync(now simclock.Time, buf []byte, off int64, write bool) (simclock.Time, error) {
-	r.stats.Submitted++
+// admit drops completed in-flight entries, applies the outstanding cap and
+// returns the earliest virtual time the new IO may start.
+func (r *SyncRing) admit(now simclock.Time) simclock.Time {
 	start := now
 	// Drop completed entries, then apply the outstanding cap.
 	for len(r.inflight) > 0 && r.inflight[0] <= now {
@@ -74,6 +73,14 @@ func (r *SyncRing) SubmitSync(now simclock.Time, buf []byte, off int64, write bo
 	if len(r.inflight) > r.stats.PeakInflight {
 		r.stats.PeakInflight = len(r.inflight)
 	}
+	return start
+}
+
+// SubmitSync performs one IO issued at virtual time now and returns its
+// completion time.
+func (r *SyncRing) SubmitSync(now simclock.Time, buf []byte, off int64, write bool) (simclock.Time, error) {
+	r.stats.Submitted++
+	start := r.admit(now)
 	var (
 		done simclock.Time
 		err  error
@@ -86,6 +93,25 @@ func (r *SyncRing) SubmitSync(now simclock.Time, buf []byte, off int64, write bo
 	default:
 		done, err = r.dev.Read(start, buf, off)
 	}
+	r.stats.CPUTime += r.cpuPerIO()
+	if err != nil {
+		r.stats.Errors++
+		return start, err
+	}
+	heap.Push(&r.inflight, done)
+	r.stats.Completed++
+	return done, nil
+}
+
+// SubmitTimedRead books the timing of an n-byte read at off whose data was
+// already copied out via Device.PeekInto. It mirrors SubmitSync's read path
+// exactly — same throttle, same device channel booking, same stats — minus
+// the data movement, so a deferred-timing replay is bit-identical to inline
+// submission.
+func (r *SyncRing) SubmitTimedRead(now simclock.Time, n int, off int64) (simclock.Time, error) {
+	r.stats.Submitted++
+	start := r.admit(now)
+	done, err := r.dev.AccountRead(start, off, n, r.cfg.SGL)
 	r.stats.CPUTime += r.cpuPerIO()
 	if err != nil {
 		r.stats.Errors++

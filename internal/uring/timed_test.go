@@ -1,0 +1,83 @@
+package uring
+
+import (
+	"testing"
+
+	"sdm/internal/blockdev"
+	"sdm/internal/simclock"
+)
+
+// TestSubmitTimedReadMatchesSubmitSync drives two identically-seeded
+// device+ring pairs with the same read sequence — one through the inline
+// SubmitSync path, one through PeekInto + SubmitTimedRead — and requires
+// bit-identical completion times, data, ring stats and device stats. This
+// is the contract the deferred-timing query engine rests on.
+func TestSubmitTimedReadMatchesSubmitSync(t *testing.T) {
+	for _, sgl := range []bool{false, true} {
+		var clkA, clkB simclock.Clock
+		// Nand has tail events and an outstanding cap, exercising both the
+		// RNG and the software queue.
+		spec := blockdev.Spec(blockdev.NandFlash)
+		devA := blockdev.New(spec, 1<<22, &clkA, 11)
+		devB := blockdev.New(spec, 1<<22, &clkB, 11)
+		seed := make([]byte, 1<<22)
+		for i := range seed {
+			seed[i] = byte(i * 31)
+		}
+		if _, err := devA.Write(0, seed, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := devB.Write(0, seed, 0); err != nil {
+			t.Fatal(err)
+		}
+		ringA := NewSync(devA, Config{SGL: sgl})
+		ringB := NewSync(devB, Config{SGL: sgl})
+
+		bufA := make([]byte, 200)
+		bufB := make([]byte, 200)
+		now := simclock.Time(0)
+		for i := 0; i < 300; i++ {
+			off := int64((i * 7919) % (1 << 21))
+			dA, errA := ringA.SubmitSync(now, bufA, off, false)
+			errPeek := devB.PeekInto(bufB, off)
+			dB, errB := ringB.SubmitTimedRead(now, len(bufB), off)
+			if errA != nil || errB != nil || errPeek != nil {
+				t.Fatalf("sgl=%v io %d: errs %v %v %v", sgl, i, errA, errPeek, errB)
+			}
+			if dA != dB {
+				t.Fatalf("sgl=%v io %d: completion %d vs %d", sgl, i, dA, dB)
+			}
+			for j := range bufA {
+				if bufA[j] != bufB[j] {
+					t.Fatalf("sgl=%v io %d: data diverged at %d", sgl, i, j)
+				}
+			}
+			now = (dA + now) / 2 // advance partially so queues stay busy
+		}
+		if ringA.Stats() != ringB.Stats() {
+			t.Fatalf("sgl=%v ring stats diverged:\n%+v\n%+v", sgl, ringA.Stats(), ringB.Stats())
+		}
+		if devA.Stats() != devB.Stats() {
+			t.Fatalf("sgl=%v device stats diverged:\n%+v\n%+v", sgl, devA.Stats(), devB.Stats())
+		}
+	}
+}
+
+// TestAccountReadBounds checks the timing-only path validates like Read.
+func TestAccountReadBounds(t *testing.T) {
+	var clk simclock.Clock
+	dev := blockdev.New(blockdev.Spec(blockdev.OptaneSSD), 4096, &clk, 1)
+	if _, err := dev.AccountRead(0, 4000, 200, false); err == nil {
+		t.Fatal("out-of-range account must fail")
+	}
+	if err := dev.PeekInto(make([]byte, 200), 4000); err == nil {
+		t.Fatal("out-of-range peek must fail")
+	}
+	dev.Close()
+	if err := dev.PeekInto(make([]byte, 1), 0); err == nil {
+		t.Fatal("closed device peek must fail")
+	}
+	if _, err := dev.AccountRead(0, 0, 1, false); err == nil {
+		t.Fatal("closed device account must fail")
+	}
+}

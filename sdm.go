@@ -22,6 +22,13 @@
 //	outs := store.AllocOutputs(q)
 //	res, _ := store.PoolQuery(store.LoadDone(), q, outs)
 //
+// Queries execute on a sharded parallel engine: Config.Parallelism fans a
+// query's table operators across that many workers (the FM row cache and
+// pooled cache are sharded by table, so operators share no locks) while SM
+// timing replays deterministically in operator order. Virtual-time
+// accounting and statistics are bit-identical at every Parallelism
+// setting; only wall-clock time changes.
+//
 // See the examples/ directory for runnable end-to-end scenarios and
 // cmd/sdmbench for the experiment harness that regenerates every table and
 // figure of the paper's evaluation.
