@@ -2,9 +2,13 @@
 //
 // Usage:
 //
-//	sdmbench [-full] [-scale f] [-queries n] [-seed s] <experiment>...
+//	sdmbench [-full] [-scale f] [-queries n] [-seed s] [-json] <experiment>...
 //	sdmbench -list
 //	sdmbench all
+//
+// -json emits the same results as a JSON array of {id, title, header,
+// rows, notes} objects (redirect to BENCH_<rev>.json to track a benchmark
+// trajectory across PRs).
 //
 // Each experiment prints rows mirroring the corresponding artifact of
 // "Supporting Massive DLRM Inference through Software Defined Memory"
@@ -14,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +44,7 @@ func run(args []string) error {
 		queries = fs.Int("queries", 0, "override query count (0 = preset)")
 		seed    = fs.Uint64("seed", 0, "override RNG seed (0 = preset)")
 		par     = fs.Int("par", 0, "experiments to run concurrently (0 = all cores, 1 = sequential)")
+		asJSON  = fs.Bool("json", false, "emit machine-readable results (JSON array) instead of tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,7 +111,18 @@ func run(args []string) error {
 		if errs[i] != nil {
 			return fmt.Errorf("%s: %w", id, errs[i])
 		}
-		results[i].Print(os.Stdout)
+	}
+	if *asJSON {
+		reports := make([]experiments.Report, 0, len(ids))
+		for _, res := range results {
+			reports = append(reports, experiments.ReportOf(res))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	for _, res := range results {
+		res.Print(os.Stdout)
 		fmt.Println()
 	}
 	return nil

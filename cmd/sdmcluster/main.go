@@ -1,0 +1,178 @@
+// Command sdmcluster drives the multi-host fleet simulator: N SDM-backed
+// serving hosts behind a front-end router, one shared Zipf user population,
+// pluggable user→host routing policies and an optional mid-run host kill.
+//
+// Usage:
+//
+//	sdmcluster [-hosts n] [-policy rr|loq|sticky|all] [-qps q] [-queries n]
+//	           [-fail id] [-failfrac f] [-warm] [-workers w] [-seed s]
+//	           [-scale f] [-json]
+//
+// Examples:
+//
+//	sdmcluster -policy all                 # compare the three policies
+//	sdmcluster -policy sticky -fail 1      # kill host 1 mid-run (§A.4)
+//
+// Virtual-time results are bit-identical for a fixed seed at any -workers
+// value; the flag only changes wall-clock time.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"runtime"
+
+	"sdm/internal/blockdev"
+	"sdm/internal/cluster"
+	"sdm/internal/core"
+	"sdm/internal/model"
+	"sdm/internal/serving"
+	"sdm/internal/uring"
+	"sdm/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdmcluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdmcluster", flag.ContinueOnError)
+	var (
+		hosts    = fs.Int("hosts", 4, "fleet size")
+		policy   = fs.String("policy", "sticky", "routing policy: rr, loq, sticky, or all")
+		qps      = fs.Float64("qps", 300, "offered fleet QPS (open loop)")
+		queries  = fs.Int("queries", 2000, "measured queries per run")
+		warm     = fs.Bool("warm", true, "run one warmup pass before measuring")
+		fail     = fs.Int("fail", -1, "host id to kill mid-run (-1 = none)")
+		failfrac = fs.Float64("failfrac", 0.5, "fraction of the run routed before the kill")
+		workers  = fs.Int("workers", 0, "concurrent host executors (0 = one per host; results identical)")
+		windows  = fs.Int("windows", 8, "virtual-time windows in the breakdown")
+		seed     = fs.Uint64("seed", 42, "RNG seed")
+		scale    = fs.Float64("scale", 3e-6, "model capacity scale")
+		users    = fs.Int64("users", 2000, "shared user population")
+		asJSON   = fs.Bool("json", false, "emit machine-readable results")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	policies, err := pickPolicies(*policy, *hosts)
+	if err != nil {
+		return err
+	}
+
+	// The experiment-scale model: M1 shape with trimmed table counts.
+	cfg := model.M1()
+	cfg.NumUserTables = 8
+	cfg.NumItemTables = 4
+	cfg.ItemBatch = 8
+	cfg.NumMLPLayers = 4
+	cfg.AvgMLPWidth = 64
+	inst, err := model.Build(cfg, *scale*50, *seed)
+	if err != nil {
+		return err
+	}
+	tables, err := inst.Materialize()
+	if err != nil {
+		return err
+	}
+
+	scfg := core.Config{
+		Seed: *seed, SMTech: blockdev.NandFlash,
+		Ring: uring.Config{SGL: true}, CacheBytes: 1 << 20,
+		Parallelism: runtime.GOMAXPROCS(0),
+	}
+	hcfg := serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: *seed}
+
+	var reports []map[string]any
+	for _, p := range policies {
+		hs, err := cluster.HostSet(inst, tables, *hosts, &scfg, hcfg)
+		if err != nil {
+			return err
+		}
+		fl, err := cluster.New(hs, p, cluster.Config{
+			Seed: *seed, HostWorkers: *workers, Windows: *windows,
+		})
+		if err != nil {
+			return err
+		}
+		gen, err := workload.NewGenerator(inst, workload.Config{Seed: *seed, NumUsers: *users, UserAlpha: 0.8})
+		if err != nil {
+			return err
+		}
+		fl.SetGenerator(gen)
+		if *warm {
+			if _, err := fl.Run(*qps, *queries); err != nil {
+				return err
+			}
+		}
+		if *fail >= 0 {
+			if err := fl.ScheduleFailure(*fail, *failfrac); err != nil {
+				return err
+			}
+		}
+		res, err := fl.Run(*qps, *queries)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			reports = append(reports, jsonReport(res))
+			continue
+		}
+		res.Print(os.Stdout)
+		fmt.Println()
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	return nil
+}
+
+func pickPolicies(name string, hosts int) ([]cluster.Router, error) {
+	mk := map[string]func() cluster.Router{
+		"rr":     func() cluster.Router { return cluster.NewRoundRobin() },
+		"loq":    func() cluster.Router { return cluster.NewLeastOutstanding() },
+		"sticky": func() cluster.Router { return cluster.NewSticky(hosts, 64) },
+	}
+	if name == "all" {
+		return []cluster.Router{mk["rr"](), mk["loq"](), mk["sticky"]()}, nil
+	}
+	f, ok := mk[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown policy %q (rr, loq, sticky, all)", name)
+	}
+	return []cluster.Router{f()}, nil
+}
+
+// jsonReport flattens a fleet result for -json output.
+func jsonReport(r *cluster.Result) map[string]any {
+	hosts := make([]map[string]any, len(r.Hosts))
+	for i, h := range r.Hosts {
+		hosts[i] = map[string]any{
+			"id": h.ID, "alive": h.Alive, "queries": h.Queries,
+			"qps": h.AchievedQPS, "p99_ms": h.Latency.P99() * 1e3,
+			"hit_rate": h.HitRate, "sm_reads": h.SMReads,
+		}
+	}
+	out := map[string]any{
+		"policy": r.Policy, "offered_qps": r.OfferedQPS, "achieved_qps": r.AchievedQPS,
+		"queries": r.Queries, "hit_rate": r.HitRate,
+		"p50_ms": r.Latency.P50() * 1e3, "p95_ms": r.Latency.P95() * 1e3, "p99_ms": r.Latency.P99() * 1e3,
+		"hosts": hosts,
+	}
+	if r.FailedHost >= 0 {
+		out["failed_host"] = r.FailedHost
+		out["rerouted_users"] = r.ReroutedUsers
+		out["warmup_spike"] = r.WarmupSpike
+		out["warmup_hit_drop"] = r.WarmupHitDrop
+	}
+	return out
+}

@@ -1,0 +1,386 @@
+// Package cluster is a deterministic discrete-event fleet simulator: N
+// serving.Host replicas behind a front-end router with pluggable user→host
+// policies (round-robin, least-outstanding-queries, sticky consistent
+// hashing). It is the serving-time realization of the paper's fleet-level
+// story: Tables 8/9/11 size fleets by multiplying one host's QPS, and
+// Fig. 4c shows sticky routing raises per-host temporal locality — here a
+// single open-loop arrival process over one shared Zipf user population is
+// split across live hosts, so routing policy directly moves per-host cache
+// hit rates, tail latency and the achieved fleet QPS that power.Provision
+// consumes. Failure scenarios kill a host mid-run, reroute its users via
+// the consistent ring and expose the §A.4 cache-warmup latency spike.
+//
+// Determinism contract (mirroring the PR 1 query-engine discipline): hosts
+// execute on real goroutines, but every virtual-time result is bit-identical
+// for a fixed seed at any Config.HostWorkers setting. The front-end routes
+// sequentially in arrival order; each host executes its queries FIFO; a
+// worker semaphore only bounds wall-clock concurrency. Routers that read
+// live host state (Feedback() == true) force a host sync before each
+// decision, so their inputs are fully ordered too.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sdm/internal/core"
+	"sdm/internal/embedding"
+	"sdm/internal/model"
+	"sdm/internal/serving"
+	"sdm/internal/simclock"
+	"sdm/internal/workload"
+	"sdm/internal/xrand"
+)
+
+// Config tunes a Fleet run.
+type Config struct {
+	// HostWorkers bounds how many hosts execute concurrently (OS
+	// goroutines). Any value yields bit-identical virtual-time results; it
+	// only changes wall-clock time. <= 0 selects one worker per host.
+	HostWorkers int
+	// Windows is the number of equal virtual-time windows in
+	// Result.Windows (default 8).
+	Windows int
+	// Seed drives the fleet arrival process.
+	Seed uint64
+}
+
+// Fleet runs N hosts behind one router and one shared-population workload.
+type Fleet struct {
+	cfg     Config
+	router  Router
+	gen     *workload.Generator
+	rng     *xrand.RNG
+	members []*member
+
+	// lastHost tracks each user's most recent target, and rerouted the
+	// users that moved off a failed host — both router-agnostic.
+	lastHost map[int64]int
+	rerouted map[int64]struct{}
+	failedAt simclock.Time
+	failed   int
+
+	// armed failure for the next Run (ScheduleFailure); -1 when disarmed.
+	failHost int
+	failFrac float64
+}
+
+// member serializes one host's execution: the front-end appends routed
+// jobs under mu, a dedicated goroutine drains them FIFO, and completed
+// counts let the front-end sync (for feedback routers and at run end).
+type member struct {
+	id    int
+	host  *serving.Host
+	alive bool
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      []job
+	submitted int
+	completed int
+	closed    bool
+	err       error
+}
+
+type job struct {
+	idx int
+	at  simclock.Time
+	q   workload.Query
+}
+
+// record is one query's outcome, written by the owning host goroutine at
+// its private index and aggregated in index order after the run.
+type record struct {
+	arrive, done simclock.Time
+	host         int
+	user         int64
+	delta        serving.CacheSnapshot
+	ok           bool
+}
+
+// New assembles a fleet from prebuilt hosts (each with its own store and
+// virtual clock — hosts must not share mutable state) and a routing
+// policy. Failure drills are armed separately with ScheduleFailure.
+func New(hosts []*serving.Host, router Router, cfg Config) (*Fleet, error) {
+	if len(hosts) == 0 {
+		return nil, errors.New("cluster: fleet needs at least one host")
+	}
+	if router == nil {
+		return nil, errors.New("cluster: fleet needs a router")
+	}
+	if cfg.Windows <= 0 {
+		cfg.Windows = 8
+	}
+	f := &Fleet{
+		cfg:      cfg,
+		router:   router,
+		rng:      xrand.New(cfg.Seed ^ 0xf1ee7),
+		lastHost: make(map[int64]int),
+		rerouted: make(map[int64]struct{}),
+		failed:   -1,
+		failHost: -1,
+	}
+	for i, h := range hosts {
+		m := &member{id: i, host: h, alive: true}
+		m.cond = sync.NewCond(&m.mu)
+		f.members = append(f.members, m)
+	}
+	return f, nil
+}
+
+// SetGenerator installs the shared-population workload generator feeding
+// the fleet's arrival process. Run requires one.
+func (f *Fleet) SetGenerator(gen *workload.Generator) { f.gen = gen }
+
+// ScheduleFailure arms a host kill for the next Run: host dies after frac
+// of that run's queries have been routed (frac <= 0 selects 0.5), the
+// router drops it, its users remap, and the survivors' cold caches
+// produce the §A.4 warmup spike. Arm it after any warmup Runs so the
+// spike is measured on steady-state caches. A host can only fail once per
+// fleet lifetime.
+func (f *Fleet) ScheduleFailure(host int, frac float64) error {
+	if f.failed >= 0 {
+		return fmt.Errorf("cluster: host %d already failed; one failure per fleet lifetime", f.failed)
+	}
+	if host < 0 || host >= len(f.members) {
+		return fmt.Errorf("cluster: fail host %d of %d", host, len(f.members))
+	}
+	if len(f.members) < 2 {
+		return errors.New("cluster: cannot fail the only host")
+	}
+	if frac <= 0 {
+		frac = 0.5
+	}
+	f.failHost, f.failFrac = host, frac
+	return nil
+}
+
+// fleetView adapts the fleet to the router's View.
+type fleetView struct{ f *Fleet }
+
+func (v fleetView) Hosts() int { return len(v.f.members) }
+
+func (v fleetView) Alive(id int) bool {
+	return id >= 0 && id < len(v.f.members) && v.f.members[id].alive
+}
+
+func (v fleetView) OutstandingAt(id int, t simclock.Time) int {
+	// Only reached from Feedback() routers, after the fleet synced every
+	// member — the host is idle, so the read is race-free.
+	return v.f.members[id].host.OutstandingAt(t)
+}
+
+// Run offers n queries open-loop at the target fleet QPS (Poisson
+// arrivals), routes each to a host, and aggregates per-host and fleet-wide
+// results. Repeated Runs continue in virtual time with warm caches.
+func (f *Fleet) Run(qps float64, n int) (*Result, error) {
+	if qps <= 0 || n <= 0 {
+		return nil, fmt.Errorf("cluster: bad run parameters qps=%g n=%d", qps, n)
+	}
+	if f.gen == nil {
+		return nil, errors.New("cluster: no generator installed (SetGenerator)")
+	}
+
+	workers := f.cfg.HostWorkers
+	if workers <= 0 {
+		workers = len(f.members)
+	}
+	sem := make(chan struct{}, workers)
+	records := make([]record, n)
+	var wg sync.WaitGroup
+	for _, m := range f.members {
+		m.mu.Lock()
+		m.closed = false
+		m.mu.Unlock()
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			m.loop(sem, records)
+		}(m)
+	}
+
+	start := f.members[0].host.Ready()
+	for _, m := range f.members[1:] {
+		if r := m.host.Ready(); r > start {
+			start = r
+		}
+	}
+
+	failIdx := -1
+	if f.failHost >= 0 && f.failed < 0 {
+		failIdx = int(f.failFrac * float64(n))
+		if failIdx >= n {
+			failIdx = n - 1
+		}
+	}
+
+	view := fleetView{f}
+	t := start
+	fired := false
+	var runErr error
+	for i := 0; i < n; i++ {
+		t += simclock.Time(f.rng.Exp(1 / qps * float64(time.Second)))
+		q := f.gen.Next()
+		if i == failIdx {
+			if runErr = f.syncAll(); runErr != nil {
+				break
+			}
+			f.members[f.failHost].alive = false
+			f.router.HostDown(f.failHost)
+			f.failed = f.failHost
+			f.failedAt = t
+			fired = true
+		}
+		if f.router.Feedback() {
+			if runErr = f.syncAll(); runErr != nil {
+				break
+			}
+		}
+		id := f.router.Route(q, t, view)
+		if id < 0 || id >= len(f.members) || !f.members[id].alive {
+			runErr = fmt.Errorf("cluster: %s routed query %d to unavailable host %d", f.router.Name(), i, id)
+			break
+		}
+		if last, seen := f.lastHost[q.UserID]; seen && f.failed >= 0 && last == f.failed && id != f.failed {
+			f.rerouted[q.UserID] = struct{}{}
+		}
+		f.lastHost[q.UserID] = id
+		f.members[id].push(job{idx: i, at: t, q: q})
+	}
+	if err := f.syncAll(); runErr == nil {
+		runErr = err
+	}
+	for _, m := range f.members {
+		m.mu.Lock()
+		m.closed = true
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return f.aggregate(qps, start, t, records, fired), nil
+}
+
+// push appends a routed job to the member's FIFO queue.
+func (m *member) push(j job) {
+	m.mu.Lock()
+	m.jobs = append(m.jobs, j)
+	m.submitted++
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// loop is the member's host goroutine: drain jobs FIFO, execute under the
+// fleet-wide worker semaphore, publish each record at its query index.
+func (m *member) loop(sem chan struct{}, records []record) {
+	for {
+		m.mu.Lock()
+		for len(m.jobs) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.jobs) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		j := m.jobs[0]
+		m.jobs = m.jobs[1:]
+		failed := m.err != nil
+		m.mu.Unlock()
+
+		var rec record
+		var err error
+		if !failed {
+			sem <- struct{}{}
+			before := m.host.Snapshot()
+			var done simclock.Time
+			done, err = m.host.Admit(j.at, j.q)
+			if err == nil {
+				rec = record{
+					arrive: j.at,
+					done:   done,
+					host:   m.id,
+					user:   j.q.UserID,
+					delta:  m.host.Snapshot().Sub(before),
+					ok:     true,
+				}
+			}
+			<-sem
+		}
+		records[j.idx] = rec
+
+		m.mu.Lock()
+		m.completed++
+		if err != nil && m.err == nil {
+			m.err = err
+		}
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// syncAll blocks until every member has executed all submitted jobs; the
+// mutex handoff makes each host's state visible to the front-end.
+func (f *Fleet) syncAll() error {
+	for _, m := range f.members {
+		m.mu.Lock()
+		for m.completed < m.submitted {
+			m.cond.Wait()
+		}
+		err := m.err
+		m.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("cluster: host %d: %w", m.id, err)
+		}
+	}
+	return nil
+}
+
+// HostSet builds n identical SDM-backed serving hosts over one set of
+// materialized tables: each host gets its own store, virtual clock and
+// derived seed (hosts never share mutable state, which the determinism
+// contract requires). A nil store config builds flat DRAM-baseline hosts.
+func HostSet(inst *model.Instance, tables []*embedding.Table, n int, scfg *core.Config, hcfg serving.Config) ([]*serving.Host, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: host set of %d", n)
+	}
+	hosts := make([]*serving.Host, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range hosts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var clk simclock.Clock
+			var store *core.Store
+			if scfg != nil {
+				sc := *scfg
+				sc.Seed = scfg.Seed + uint64(i)*0x9e3779b9
+				s, err := core.Open(inst, tables, sc, &clk)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				store = s
+			}
+			hc := hcfg
+			hc.Seed = hcfg.Seed + uint64(i)
+			h, err := serving.NewHost(inst, store, tables, nil, &clk, hc)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			hosts[i] = h
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host set: %w", err)
+		}
+	}
+	return hosts, nil
+}

@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"sdm/internal/core"
+	"sdm/internal/embedding"
+	"sdm/internal/model"
+	"sdm/internal/serving"
+	"sdm/internal/uring"
+	"sdm/internal/workload"
+)
+
+func fixture(t *testing.T) (*model.Instance, []*embedding.Table) {
+	t.Helper()
+	cfg := model.M1()
+	cfg.NumUserTables = 5
+	cfg.NumItemTables = 3
+	cfg.ItemBatch = 4
+	cfg.TotalBytes = 1 << 21
+	cfg.NumMLPLayers = 4
+	cfg.AvgMLPWidth = 64
+	in, err := model.Build(cfg, 1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := in.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, tables
+}
+
+// testFleet builds an n-host SDM fleet with a small row cache (so routing
+// policy visibly moves the hit rate) plus a fresh shared-population
+// generator.
+func testFleet(t *testing.T, in *model.Instance, tables []*embedding.Table, n int, router Router, cfg Config) *Fleet {
+	t.Helper()
+	scfg := core.Config{Seed: 7, Ring: uring.Config{SGL: true}, CacheBytes: 1 << 15}
+	hosts, err := HostSet(in, tables, n, &scfg, serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(hosts, router, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(in, workload.Config{Seed: cfg.Seed, NumUsers: 800, UserAlpha: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetGenerator(gen)
+	return f
+}
+
+// resultKey flattens every virtual-time number of a Result so runs can be
+// compared bit-for-bit.
+func resultKey(t *testing.T, r *Result) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(r.String())
+	for _, h := range r.Hosts {
+		b.WriteString(h.Latency.String())
+		b.WriteString(h.String())
+	}
+	for _, w := range r.Windows {
+		b.WriteString(w.String())
+	}
+	return b.String()
+}
+
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	// The determinism contract: same seed ⇒ bit-identical fleet
+	// virtual-time stats at any host-worker count, for every policy.
+	in, tables := fixture(t)
+	for _, mk := range []func() Router{
+		func() Router { return NewRoundRobin() },
+		func() Router { return NewLeastOutstanding() },
+		func() Router { return NewSticky(4, 32) },
+	} {
+		var keys []string
+		var name string
+		for _, workers := range []int{1, 2, 4, 7} {
+			f := testFleet(t, in, tables, 4, mk(), Config{Seed: 11, HostWorkers: workers})
+			res, err := f.Run(400, 400)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name = res.Policy
+			keys = append(keys, resultKey(t, res))
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i] != keys[0] {
+				t.Fatalf("%s: results diverged across worker counts:\n%s\nvs\n%s", name, keys[0], keys[i])
+			}
+		}
+	}
+}
+
+func TestStickyBeatsRoundRobinHitRate(t *testing.T) {
+	// Fig. 4c at serving time: pinning users to hosts concentrates their
+	// rows in one replica's cache, so the measured row-cache hit rate must
+	// beat round-robin on the same trace.
+	in, tables := fixture(t)
+	run := func(r Router) *Result {
+		f := testFleet(t, in, tables, 4, r, Config{Seed: 13})
+		res, err := f.Run(300, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rr := run(NewRoundRobin())
+	sticky := run(NewSticky(4, 64))
+	if sticky.HitRate <= rr.HitRate {
+		t.Fatalf("sticky hit rate %.3f should beat round-robin %.3f", sticky.HitRate, rr.HitRate)
+	}
+	// Load still lands on every host (consistent hashing spreads users).
+	for _, h := range sticky.Hosts {
+		if h.Queries == 0 {
+			t.Fatalf("sticky starved host %d: %+v", h.ID, sticky.Hosts)
+		}
+	}
+}
+
+func TestLeastOutstandingBalances(t *testing.T) {
+	in, tables := fixture(t)
+	f := testFleet(t, in, tables, 4, NewLeastOutstanding(), Config{Seed: 17})
+	res, err := f.Run(500, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := res.Hosts[0].Queries, res.Hosts[0].Queries
+	for _, h := range res.Hosts {
+		if h.Queries < min {
+			min = h.Queries
+		}
+		if h.Queries > max {
+			max = h.Queries
+		}
+	}
+	if min == 0 || float64(max) > 2.5*float64(min) {
+		t.Fatalf("least-outstanding should balance load: min=%d max=%d", min, max)
+	}
+}
+
+func TestHostFailureReroutesUsers(t *testing.T) {
+	// §A.4: killing a host mid-run reroutes its users to survivors whose
+	// caches are cold for them — visible as a warmup hit-rate drop.
+	in, tables := fixture(t)
+	f := testFleet(t, in, tables, 4, NewSticky(4, 64), Config{Seed: 19, Windows: 8})
+	if err := f.ScheduleFailure(2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(300, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedHost != 2 || res.Hosts[2].Alive {
+		t.Fatalf("host 2 should be dead: %+v", res.Hosts[2])
+	}
+	if res.ReroutedUsers == 0 {
+		t.Fatal("failure should reroute the dead host's users")
+	}
+	if res.WarmupHitDrop <= 0 {
+		t.Fatalf("rerouted users should hit cold caches: drop=%.4f", res.WarmupHitDrop)
+	}
+	if res.WarmupSpike <= 0 {
+		t.Fatalf("warmup spike should be measured: %g", res.WarmupSpike)
+	}
+	// The survivors keep serving: the fleet completes every query.
+	if int(res.Latency.Count()) != res.Queries {
+		t.Fatalf("completed %d of %d queries", res.Latency.Count(), res.Queries)
+	}
+	// A later Run keeps the host dead but is not itself a failure drill:
+	// no stale failure metadata, and a second kill is rejected.
+	after, err := f.Run(300, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.FailedHost != -1 || after.ReroutedUsers != 0 || after.WarmupSpike != 0 {
+		t.Fatalf("post-failure run reports stale drill: %+v", after)
+	}
+	if after.Hosts[2].Queries != 0 || after.Hosts[2].Alive {
+		t.Fatalf("dead host served after failure: %+v", after.Hosts[2])
+	}
+	if err := f.ScheduleFailure(3, 0.5); err == nil {
+		t.Fatal("second failure in one fleet lifetime should be rejected")
+	}
+}
+
+func TestStickyRingConsistency(t *testing.T) {
+	// Consistent hashing: when a host leaves, only its users remap.
+	s := NewSticky(5, 64)
+	before := make(map[int64]int)
+	for u := int64(0); u < 3000; u++ {
+		before[u] = s.Owner(u)
+	}
+	s.HostDown(3)
+	moved := 0
+	for u := int64(0); u < 3000; u++ {
+		after := s.Owner(u)
+		if after == 3 {
+			t.Fatalf("user %d still routed to dead host", u)
+		}
+		if before[u] != 3 && after != before[u] {
+			t.Fatalf("user %d moved from alive host %d to %d", u, before[u], after)
+		}
+		if before[u] == 3 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("host 3 owned no users; ring is degenerate")
+	}
+	// Rejoin restores the exact prior ownership.
+	s.HostUp(3)
+	for u := int64(0); u < 3000; u++ {
+		if s.Owner(u) != before[u] {
+			t.Fatalf("user %d did not return to host %d after rejoin", u, before[u])
+		}
+	}
+}
+
+func TestRoundRobinSkipsDeadHosts(t *testing.T) {
+	in, tables := fixture(t)
+	f := testFleet(t, in, tables, 3, NewRoundRobin(), Config{Seed: 23})
+	if err := f.ScheduleFailure(0, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(200, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hosts[0].Queries >= res.Hosts[1].Queries {
+		t.Fatalf("dead host should stop receiving load: %+v", res.Hosts)
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	in, tables := fixture(t)
+	scfg := core.Config{Seed: 1, Ring: uring.Config{SGL: true}, CacheBytes: 1 << 15}
+	hosts, err := HostSet(in, tables, 1, &scfg, serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nil, NewRoundRobin(), Config{}); err == nil {
+		t.Fatal("empty fleet should fail")
+	}
+	if _, err := New(hosts, nil, Config{}); err == nil {
+		t.Fatal("nil router should fail")
+	}
+	f, err := New(hosts, NewRoundRobin(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ScheduleFailure(0, 0.5); err == nil {
+		t.Fatal("failing the only host should fail")
+	}
+	if err := f.ScheduleFailure(5, 0.5); err == nil {
+		t.Fatal("out-of-range fail host should fail")
+	}
+	if _, err := f.Run(100, 10); err == nil {
+		t.Fatal("run without a generator should fail")
+	}
+	gen, err := workload.NewGenerator(in, workload.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetGenerator(gen)
+	if _, err := f.Run(0, 10); err == nil {
+		t.Fatal("zero QPS should fail")
+	}
+	if _, err := f.Run(10, 0); err == nil {
+		t.Fatal("zero queries should fail")
+	}
+	if _, err := HostSet(in, tables, 0, &scfg, serving.Config{Spec: serving.HWSS(), Seed: 1}); err == nil {
+		t.Fatal("empty host set should fail")
+	}
+}
+
+func TestFlatHostSet(t *testing.T) {
+	// A nil store config builds DRAM-baseline hosts; the fleet still runs
+	// and, with the CPU-accounting fix, reports nonzero utilization.
+	in, tables := fixture(t)
+	hosts, err := HostSet(in, tables, 2, nil, serving.Config{Spec: serving.HWL(), InterOp: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(hosts, NewRoundRobin(), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(in, workload.Config{Seed: 3, NumUsers: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetGenerator(gen)
+	res, err := f.Run(200, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Latency.Count()) != 200 {
+		t.Fatalf("flat fleet dropped queries: %d", res.Latency.Count())
+	}
+	if res.HitRate != 0 || res.Hosts[0].SMReads != 0 {
+		t.Fatalf("flat hosts have no SM path: %+v", res)
+	}
+}

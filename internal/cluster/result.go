@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+
+	"sdm/internal/serving"
+	"sdm/internal/simclock"
+	"sdm/internal/stats"
+)
+
+// HostResult summarizes one replica's share of a fleet run.
+type HostResult struct {
+	ID      int
+	Alive   bool
+	Queries int
+	Latency *stats.Histogram
+	// AchievedQPS is this host's throughput over the fleet's elapsed
+	// virtual time, so the per-host numbers sum to the fleet's.
+	AchievedQPS float64
+	// HitRate is the row-cache hit rate over this run's queries only.
+	HitRate       float64
+	PooledHitRate float64
+	SMReads       uint64
+}
+
+// WindowStat aggregates one equal-width virtual-time window of the run —
+// the time series the warmup-spike analysis reads.
+type WindowStat struct {
+	Start, End simclock.Time
+	Queries    int
+	MeanLat    float64 // seconds
+	P99        float64 // seconds
+	HitRate    float64
+	SMPerQuery float64
+}
+
+// Result is the outcome of one Fleet.Run.
+type Result struct {
+	Policy     string
+	OfferedQPS float64
+	Queries    int
+	Start, End simclock.Time
+
+	// Fleet-wide aggregates.
+	Latency     *stats.Histogram
+	AchievedQPS float64
+	HitRate     float64
+
+	Hosts   []HostResult
+	Windows []WindowStat
+
+	// Failure scenario outputs, populated only for the Run in which the
+	// kill actually fired (FailedHost < 0 otherwise — later Runs keep the
+	// host dead but are not failure drills themselves).
+	FailedHost    int
+	FailTime      simclock.Time
+	ReroutedUsers int
+	// WarmupSpike is the post-failure/pre-failure mean-latency ratio for
+	// the rerouted users' queries (0 without a failure): after the kill,
+	// their traffic lands on survivors whose caches are cold for them, so
+	// their latency spikes until the caches re-warm (§A.4). Fleet-wide
+	// numbers dilute the effect — the globally hot rows are cached on
+	// every replica — so the metric follows the affected users.
+	WarmupSpike float64
+	// WarmupHitDrop is the rerouted users' row-cache hit-rate drop
+	// (pre-failure on their home host − post-failure on the survivors).
+	WarmupHitDrop float64
+}
+
+// aggregate folds the per-query records into a Result in index order, so
+// every derived number is independent of execution interleaving. fired
+// reports whether the armed host kill executed during this Run.
+func (f *Fleet) aggregate(qps float64, start, lastArrival simclock.Time, records []record, fired bool) *Result {
+	res := &Result{
+		Policy:     f.router.Name(),
+		OfferedQPS: qps,
+		Queries:    len(records),
+		Start:      start,
+		Latency:    stats.NewHistogram(),
+		FailedHost: -1,
+	}
+	if fired {
+		res.FailedHost = f.failed
+		res.FailTime = f.failedAt
+	}
+	hosts := make([]HostResult, len(f.members))
+	hostDelta := make([]serving.CacheSnapshot, len(f.members))
+	for i, m := range f.members {
+		hosts[i] = HostResult{ID: i, Alive: m.alive, Latency: stats.NewHistogram()}
+	}
+
+	end := lastArrival
+	var fleetDelta serving.CacheSnapshot
+	for _, r := range records {
+		if !r.ok {
+			continue
+		}
+		lat := (r.done - r.arrive).Seconds()
+		res.Latency.Observe(lat)
+		hosts[r.host].Queries++
+		hosts[r.host].Latency.Observe(lat)
+		hostDelta[r.host] = hostDelta[r.host].Add(r.delta)
+		fleetDelta = fleetDelta.Add(r.delta)
+		if r.done > end {
+			end = r.done
+		}
+	}
+	res.End = end
+	elapsed := (end - start).Seconds()
+	if elapsed > 0 {
+		res.AchievedQPS = float64(res.Latency.Count()) / elapsed
+	}
+	res.HitRate = fleetDelta.HitRate()
+	for i := range hosts {
+		d := hostDelta[i]
+		hosts[i].HitRate = d.HitRate()
+		if ph := d.PooledHits + d.PooledMisses; ph > 0 {
+			hosts[i].PooledHitRate = float64(d.PooledHits) / float64(ph)
+		}
+		hosts[i].SMReads = d.SMReads
+		if elapsed > 0 {
+			hosts[i].AchievedQPS = float64(hosts[i].Queries) / elapsed
+		}
+	}
+	res.Hosts = hosts
+
+	res.Windows = windowize(records, start, lastArrival, f.cfg.Windows)
+	if fired {
+		res.ReroutedUsers = len(f.rerouted)
+		pre, post := affectedSplit(records, f.rerouted, f.failedAt)
+		if pre.Queries > 0 && post.Queries > 0 {
+			if pre.MeanLat > 0 {
+				res.WarmupSpike = post.MeanLat / pre.MeanLat
+			}
+			res.WarmupHitDrop = pre.HitRate - post.HitRate
+		}
+	}
+	return res
+}
+
+// affectedSplit aggregates the rerouted users' queries before and after
+// the failure instant — the population whose caches actually went cold.
+func affectedSplit(records []record, rerouted map[int64]struct{}, failedAt simclock.Time) (pre, post WindowStat) {
+	preLat, postLat := stats.NewHistogram(), stats.NewHistogram()
+	var preDelta, postDelta serving.CacheSnapshot
+	for _, r := range records {
+		if !r.ok {
+			continue
+		}
+		if _, hit := rerouted[r.user]; !hit {
+			continue
+		}
+		if r.arrive < failedAt {
+			pre.Queries++
+			preLat.Observe((r.done - r.arrive).Seconds())
+			preDelta = preDelta.Add(r.delta)
+		} else {
+			post.Queries++
+			postLat.Observe((r.done - r.arrive).Seconds())
+			postDelta = postDelta.Add(r.delta)
+		}
+	}
+	pre.MeanLat, pre.P99, pre.HitRate = preLat.Mean(), preLat.P99(), preDelta.HitRate()
+	post.MeanLat, post.P99, post.HitRate = postLat.Mean(), postLat.P99(), postDelta.HitRate()
+	return pre, post
+}
+
+// windowize buckets records into n equal arrival-time windows.
+func windowize(records []record, start, end simclock.Time, n int) []WindowStat {
+	if n <= 0 || end <= start {
+		return nil
+	}
+	width := (end - start) / simclock.Time(n)
+	if width <= 0 {
+		return nil
+	}
+	out := make([]WindowStat, 0, n)
+	for i := 0; i < n; i++ {
+		lo := start + simclock.Time(i)*width
+		hi := lo + width
+		if i == n-1 {
+			hi = end + 1 // include the final arrival
+		}
+		out = append(out, windowOver(records, lo, hi))
+	}
+	return out
+}
+
+// windowOver aggregates the records whose arrival falls in [lo, hi).
+func windowOver(records []record, lo, hi simclock.Time) WindowStat {
+	w := WindowStat{Start: lo, End: hi}
+	lat := stats.NewHistogram()
+	var delta serving.CacheSnapshot
+	var foundAny bool
+	for _, r := range records {
+		if !r.ok || r.arrive < lo || r.arrive >= hi {
+			continue
+		}
+		foundAny = true
+		w.Queries++
+		lat.Observe((r.done - r.arrive).Seconds())
+		delta = delta.Add(r.delta)
+	}
+	if foundAny {
+		w.MeanLat = lat.Mean()
+		w.P99 = lat.P99()
+		w.HitRate = delta.HitRate()
+		w.SMPerQuery = float64(delta.SMReads) / float64(w.Queries)
+	}
+	return w
+}
+
+// String renders one host's share of the run.
+func (h HostResult) String() string {
+	return fmt.Sprintf("host%d alive=%t q=%d qps=%.3f p99=%.6f hit=%.4f sm=%d",
+		h.ID, h.Alive, h.Queries, h.AchievedQPS, h.Latency.P99(), h.HitRate, h.SMReads)
+}
+
+// String renders one window of the run's time series.
+func (w WindowStat) String() string {
+	return fmt.Sprintf("[%d,%d) q=%d mean=%.6f p99=%.6f hit=%.4f sm=%.3f",
+		w.Start, w.End, w.Queries, w.MeanLat, w.P99, w.HitRate, w.SMPerQuery)
+}
+
+// String renders the fleet headline.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: qps=%.0f/%.0f p50=%.2fms p95=%.2fms p99=%.2fms hit=%.1f%%",
+		r.Policy, r.AchievedQPS, r.OfferedQPS,
+		r.Latency.P50()*1e3, r.Latency.P95()*1e3, r.Latency.P99()*1e3,
+		r.HitRate*100)
+}
+
+// Print renders the full per-host and window breakdown.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "policy=%s offered=%.0f achieved=%.0f queries=%d hit=%.1f%%\n",
+		r.Policy, r.OfferedQPS, r.AchievedQPS, r.Queries, r.HitRate*100)
+	fmt.Fprintf(w, "fleet latency: p50=%.2fms p95=%.2fms p99=%.2fms\n",
+		r.Latency.P50()*1e3, r.Latency.P95()*1e3, r.Latency.P99()*1e3)
+	fmt.Fprintf(w, "%-6s %-6s %8s %8s %10s %10s %10s\n",
+		"host", "alive", "queries", "qps", "p99(ms)", "hit%", "smReads")
+	for _, h := range r.Hosts {
+		fmt.Fprintf(w, "%-6d %-6t %8d %8.0f %10.2f %10.1f %10d\n",
+			h.ID, h.Alive, h.Queries, h.AchievedQPS, h.Latency.P99()*1e3, h.HitRate*100, h.SMReads)
+	}
+	if len(r.Windows) > 0 {
+		fmt.Fprintf(w, "%-10s %8s %10s %10s %10s %8s\n",
+			"window", "queries", "mean(ms)", "p99(ms)", "hit%", "sm/qry")
+		for i, win := range r.Windows {
+			fmt.Fprintf(w, "w%-9d %8d %10.2f %10.2f %10.1f %8.1f\n",
+				i, win.Queries, win.MeanLat*1e3, win.P99*1e3, win.HitRate*100, win.SMPerQuery)
+		}
+	}
+	if r.FailedHost >= 0 {
+		fmt.Fprintf(w, "failure: host %d at t=%.2fs, rerouted users=%d, warmup spike=%.2fx, hit drop=%.1fpp\n",
+			r.FailedHost, r.FailTime.Seconds(), r.ReroutedUsers, r.WarmupSpike, r.WarmupHitDrop*100)
+	}
+}

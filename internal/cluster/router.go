@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"sort"
+
+	"sdm/internal/simclock"
+	"sdm/internal/workload"
+)
+
+// View is the host state a Router may consult when picking a target. The
+// fleet synchronizes all hosts before handing a View to a router whose
+// Feedback() is true, so reads are race-free and deterministic.
+type View interface {
+	// Hosts returns the fleet size (host ids are 0..Hosts()-1).
+	Hosts() int
+	// Alive reports whether host id is serving.
+	Alive(id int) bool
+	// OutstandingAt returns host id's in-flight query count at virtual
+	// time t. Only valid from routers with Feedback() == true.
+	OutstandingAt(id int, t simclock.Time) int
+}
+
+// Router is a pluggable user→host routing policy. Implementations must be
+// deterministic: the same sequence of Route/HostDown/HostUp calls yields
+// the same decisions, which is what makes fleet runs replayable.
+type Router interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Route picks an alive host for q arriving at now.
+	Route(q workload.Query, now simclock.Time, v View) int
+	// HostDown removes id from the eligible set (its users reroute).
+	HostDown(id int)
+	// HostUp restores id.
+	HostUp(id int)
+	// Feedback reports whether Route reads live host state through
+	// View.OutstandingAt; the fleet then syncs hosts before each decision.
+	Feedback() bool
+}
+
+// RoundRobin spreads queries uniformly over alive hosts in id order. It is
+// the paper's implicit baseline: every host observes the full user
+// population, so per-host temporal locality equals global locality.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a round-robin router.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Router.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Feedback implements Router; round-robin ignores host state.
+func (r *RoundRobin) Feedback() bool { return false }
+
+// HostDown implements Router; liveness is read from the View.
+func (r *RoundRobin) HostDown(int) {}
+
+// HostUp implements Router.
+func (r *RoundRobin) HostUp(int) {}
+
+// Route implements Router.
+func (r *RoundRobin) Route(_ workload.Query, _ simclock.Time, v View) int {
+	n := v.Hosts()
+	for i := 0; i < n; i++ {
+		id := (r.next + i) % n
+		if v.Alive(id) {
+			r.next = (id + 1) % n
+			return id
+		}
+	}
+	return -1
+}
+
+// LeastOutstanding routes each query to the alive host with the fewest
+// in-flight queries at the arrival time (ties break round-robin, so an
+// idle fleet does not funnel everything to host 0). It is the classic
+// load-balancing policy: best tail latency under skewed service times, but
+// like round-robin it scatters every user across the whole fleet, so
+// caches see global locality only.
+type LeastOutstanding struct {
+	next int
+}
+
+// NewLeastOutstanding returns a least-outstanding-queries router.
+func NewLeastOutstanding() *LeastOutstanding { return &LeastOutstanding{} }
+
+// Name implements Router.
+func (r *LeastOutstanding) Name() string { return "least-outstanding" }
+
+// Feedback implements Router: routing reads live queue depths.
+func (r *LeastOutstanding) Feedback() bool { return true }
+
+// HostDown implements Router.
+func (r *LeastOutstanding) HostDown(int) {}
+
+// HostUp implements Router.
+func (r *LeastOutstanding) HostUp(int) {}
+
+// Route implements Router.
+func (r *LeastOutstanding) Route(_ workload.Query, now simclock.Time, v View) int {
+	n := v.Hosts()
+	best, bestQ := -1, 0
+	for i := 0; i < n; i++ {
+		id := (r.next + i) % n
+		if !v.Alive(id) {
+			continue
+		}
+		q := v.OutstandingAt(id, now)
+		if best < 0 || q < bestQ {
+			best, bestQ = id, q
+		}
+	}
+	if best >= 0 {
+		r.next = (best + 1) % n
+	}
+	return best
+}
+
+// Sticky pins each user to a host via consistent hashing (§4.2 / Fig. 4c):
+// a user's queries always land on the same replica, concentrating their
+// embedding rows in that replica's caches. The hash ring uses virtual
+// nodes, so when a host leaves only its own users remap (spread across the
+// survivors) and everyone else stays put — the property that keeps the
+// §A.4 warmup spike proportional to the failed host's share.
+type Sticky struct {
+	points []ringPoint // sorted by hash; all hosts, dead or alive
+	alive  []bool
+}
+
+type ringPoint struct {
+	hash uint64
+	host int
+}
+
+// NewSticky returns a consistent-hashing sticky router over hosts replicas
+// with vnodes virtual nodes each (vnodes <= 0 selects 64).
+func NewSticky(hosts, vnodes int) *Sticky {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	s := &Sticky{alive: make([]bool, hosts)}
+	for id := 0; id < hosts; id++ {
+		s.alive[id] = true
+		for v := 0; v < vnodes; v++ {
+			s.points = append(s.points, ringPoint{
+				hash: mix64(uint64(id)<<32 | uint64(v)),
+				host: id,
+			})
+		}
+	}
+	sort.Slice(s.points, func(i, j int) bool {
+		if s.points[i].hash != s.points[j].hash {
+			return s.points[i].hash < s.points[j].hash
+		}
+		return s.points[i].host < s.points[j].host
+	})
+	return s
+}
+
+// Name implements Router.
+func (s *Sticky) Name() string { return "sticky" }
+
+// Feedback implements Router; sticky routing is stateless per decision.
+func (s *Sticky) Feedback() bool { return false }
+
+// HostDown implements Router: the host's ring points become ineligible and
+// its users fall through to the next alive owner clockwise.
+func (s *Sticky) HostDown(id int) {
+	if id >= 0 && id < len(s.alive) {
+		s.alive[id] = false
+	}
+}
+
+// HostUp implements Router.
+func (s *Sticky) HostUp(id int) {
+	if id >= 0 && id < len(s.alive) {
+		s.alive[id] = true
+	}
+}
+
+// Route implements Router.
+func (s *Sticky) Route(q workload.Query, _ simclock.Time, v View) int {
+	return s.Owner(q.UserID)
+}
+
+// Owner returns the alive host owning user on the ring, or -1 when the
+// whole ring is down.
+func (s *Sticky) Owner(user int64) int {
+	if len(s.points) == 0 {
+		return -1
+	}
+	h := mix64(uint64(user))
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].hash >= h })
+	for k := 0; k < len(s.points); k++ {
+		p := s.points[(i+k)%len(s.points)]
+		if s.alive[p.host] {
+			return p.host
+		}
+	}
+	return -1
+}
+
+// mix64 is a SplitMix64-style finalizer used for ring and user hashing.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -63,6 +63,7 @@ var registry = []struct {
 	{"tab9", "Table 9: M2 avoiding scale-out (power)", Tab9},
 	{"tab10", "Table 10: M3 SDM sizing roofline", Tab10},
 	{"tab11", "Table 11: M3 multi-tenancy fleet power", Tab11},
+	{"cluster", "§4.2/Fig. 4c at serving time: fleet routing policies", Cluster},
 	{"sgl", "§4.1.1: SGL sub-block read savings", SGL},
 	{"mmap", "§4.1: mmap vs DIRECT_IO", Mmap},
 	{"deprune", "§4.5: de-pruning at load time", Deprune},
@@ -113,6 +114,42 @@ type tableResult struct {
 }
 
 func (r *tableResult) ID() string { return r.id }
+
+// Header exposes the column header for machine-readable output.
+func (r *tableResult) Header() string { return r.header }
+
+// Rows exposes the rendered rows for machine-readable output.
+func (r *tableResult) Rows() []string { return r.rows }
+
+// Notes exposes the annotations for machine-readable output.
+func (r *tableResult) Notes() []string { return r.notes }
+
+// Report is the machine-readable form of a Result — what cmd/sdmbench
+// -json emits, so benchmark trajectories (BENCH_*.json) can be tracked
+// across PRs.
+type Report struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	Header string   `json:"header,omitempty"`
+	Rows   []string `json:"rows"`
+	Notes  []string `json:"notes,omitempty"`
+}
+
+// ReportOf converts a Result into its Report form. Results that don't
+// embed tableResult degrade to id + title.
+func ReportOf(res Result) Report {
+	rep := Report{ID: res.ID(), Title: Title(res.ID())}
+	if t, ok := res.(interface {
+		Header() string
+		Rows() []string
+		Notes() []string
+	}); ok {
+		rep.Header = t.Header()
+		rep.Rows = t.Rows()
+		rep.Notes = t.Notes()
+	}
+	return rep
+}
 
 func (r *tableResult) Print(w io.Writer) {
 	fmt.Fprintf(w, "== %s — %s ==\n", r.id, Title(r.id))

@@ -33,7 +33,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the evaluation must have a runner.
 	want := []string{
 		"fig1", "tab1", "fig3", "tab2", "fig4", "fig5", "fig6",
-		"tab3", "tab4", "tab8", "tab9", "tab10", "tab11",
+		"tab3", "tab4", "tab8", "tab9", "tab10", "tab11", "cluster",
 		"sgl", "mmap", "deprune", "dequant", "interop", "polling", "warmup", "update",
 	}
 	got := IDs()
@@ -164,6 +164,40 @@ func TestTab10(t *testing.T) {
 }
 
 func TestTab11(t *testing.T) { runExp(t, "tab11") }
+
+func TestCluster(t *testing.T) {
+	// Acceptance: sticky hashing improves per-host cache hit rate over
+	// round-robin on the same trace, and the host-failure scenario
+	// completes with rerouted users and a visible warmup signature.
+	res := runExp(t, "cluster").(*ClusterResult)
+	if res.StickyHitRate <= res.RRHitRate {
+		t.Fatalf("sticky hit rate %.3f should beat round-robin %.3f", res.StickyHitRate, res.RRHitRate)
+	}
+	if res.ReroutedUsers == 0 {
+		t.Fatal("failure drill rerouted no users")
+	}
+	// The §A.4 warmup signature: rerouted users hit cold survivor caches.
+	// The hit-rate drop is the robust signal — the latency ratio is
+	// reported too, but Eq. 3 hides much of the user-side IO behind the
+	// item path, so it is noisy at test scale.
+	if res.WarmupHitDrop <= 0 {
+		t.Fatalf("rerouted users should hit cold caches: drop=%.4f", res.WarmupHitDrop)
+	}
+	if res.WarmupSpike <= 0 {
+		t.Fatalf("warmup spike should be measured: %g", res.WarmupSpike)
+	}
+	if res.ClusterHosts <= 0 || res.SingleExtrapolationHosts <= 0 {
+		t.Fatalf("provisioning paths: cluster=%d single=%d", res.ClusterHosts, res.SingleExtrapolationHosts)
+	}
+}
+
+func TestReportOf(t *testing.T) {
+	res := runExp(t, "tab10")
+	rep := ReportOf(res)
+	if rep.ID != "tab10" || rep.Title == "" || len(rep.Rows) == 0 || rep.Header == "" {
+		t.Fatalf("report %+v", rep)
+	}
+}
 
 func TestSGLShape(t *testing.T) {
 	res := runExp(t, "sgl").(*SGLResult)

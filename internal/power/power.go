@@ -53,6 +53,23 @@ func Provision(s Scenario, totalQPS float64) (Fleet, error) {
 	}, nil
 }
 
+// ClusterScenario builds a provisioning scenario from a measured
+// multi-host cluster run instead of single-host extrapolation: the
+// effective per-host QPS is the fleet's achieved QPS divided by its host
+// count, which bakes in routing-policy effects (sticky cache uplift, load
+// imbalance, rerouting headroom) that Eq. 7 over one host's QPS misses.
+// Feed the result to Provision as usual.
+func ClusterScenario(name string, fleetQPS float64, hosts int, hostPower float64) (Scenario, error) {
+	if fleetQPS <= 0 || hosts <= 0 {
+		return Scenario{}, fmt.Errorf("power: cluster scenario %q needs measured QPS (%g) and hosts (%d)", name, fleetQPS, hosts)
+	}
+	return Scenario{
+		Name:       name,
+		QPSPerHost: fleetQPS / float64(hosts),
+		HostPower:  hostPower,
+	}, nil
+}
+
 // Savings returns the fractional power saving of b vs the baseline a.
 func Savings(a, b Fleet) float64 {
 	if a.TotalPower == 0 {

@@ -30,6 +30,32 @@ func TestProvisionTable8Arithmetic(t *testing.T) {
 	}
 }
 
+func TestClusterScenario(t *testing.T) {
+	// A 4-host cluster measured at 400 fleet QPS sizes fleets from the
+	// effective 100 QPS/host — the cluster-measured path that replaces
+	// single-host extrapolation.
+	s, err := ClusterScenario("sticky x4", 400, 4, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.QPSPerHost-100) > 1e-12 || s.HostPower != 0.4 {
+		t.Fatalf("scenario %+v", s)
+	}
+	fl, err := Provision(s, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Hosts != 100 || math.Abs(fl.TotalPower-40) > 1e-9 {
+		t.Fatalf("fleet %+v", fl)
+	}
+	if _, err := ClusterScenario("bad", 0, 4, 1); err == nil {
+		t.Fatal("zero fleet QPS should fail")
+	}
+	if _, err := ClusterScenario("bad", 100, 0, 1); err == nil {
+		t.Fatal("zero hosts should fail")
+	}
+}
+
 func TestProvisionTable9Arithmetic(t *testing.T) {
 	// Table 9: HW-AN+ScaleOut at 450 QPS with +0.25 companion power and
 	// 1/5 companion hosts → 1500+300 hosts, 1575 power. HW-AO+SDM at 450

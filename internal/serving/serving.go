@@ -9,6 +9,7 @@
 package serving
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -108,6 +109,16 @@ type Host struct {
 	cores     []simclock.Time // per-core next-free virtual time
 	accelFree simclock.Time
 
+	// cpuBooked accumulates all CPU service time booked on the cores
+	// (store IO-path CPU, flat-table pooling, remote-lookup handling), so
+	// utilization is meaningful on every host flavor, including the
+	// DRAM-only baseline that never touches a store.
+	cpuBooked time.Duration
+
+	// inflight holds the completion times of admitted-but-unfinished
+	// queries as a min-heap; cluster routers read it through OutstandingAt.
+	inflight timeHeap
+
 	topMLP *mlp.Network
 
 	// horizon is the furthest completion booked on any resource; new runs
@@ -180,11 +191,10 @@ func (r Result) String() string {
 // no earlier than t and returns (start, done).
 func (h *Host) coreAdmit(t simclock.Time, cpu time.Duration) (simclock.Time, simclock.Time) {
 	best := 0
-	for i, f := range h.cores {
-		if f < h.cores[best] {
+	for i, free := range h.cores {
+		if free < h.cores[best] {
 			best = i
 		}
-		_ = f
 	}
 	start := t
 	if h.cores[best] > start {
@@ -192,6 +202,7 @@ func (h *Host) coreAdmit(t simclock.Time, cpu time.Duration) (simclock.Time, sim
 	}
 	done := start + simclock.Time(cpu)
 	h.cores[best] = done
+	h.cpuBooked += cpu
 	return start, done
 }
 
@@ -359,6 +370,130 @@ func (h *Host) poolFlat(op workload.TableOp) (time.Duration, error) {
 	return cpu, nil
 }
 
+// Ready returns the earliest virtual time at which the host can accept
+// external admissions: after the store finished loading and after any
+// previously admitted or measured work.
+func (h *Host) Ready() simclock.Time {
+	t := h.horizon
+	if h.store != nil && h.store.LoadDone() > t {
+		t = h.store.LoadDone()
+	}
+	if h.clock.Now() > t {
+		t = h.clock.Now()
+	}
+	return t
+}
+
+// Admit executes one externally routed query arriving at t and returns its
+// completion time. It is the entry point cluster front-ends use instead of
+// RunOpenLoop: the caller owns arrival generation and routing, the host
+// owns execution, cache state and virtual-time accounting. Admissions must
+// arrive in non-decreasing time order; a host built only for Admit may be
+// constructed with a nil generator.
+func (h *Host) Admit(t simclock.Time, q workload.Query) (simclock.Time, error) {
+	done, err := h.execQuery(t, q)
+	if err != nil {
+		return 0, err
+	}
+	if done > h.horizon {
+		h.horizon = done
+	}
+	h.retireInflight(t)
+	heap.Push(&h.inflight, done)
+	return done, nil
+}
+
+// OutstandingAt returns the number of admitted queries still executing at
+// virtual time t — the load signal least-outstanding routers balance on.
+// Queries completing exactly at t count as finished. Not safe to call
+// concurrently with Admit.
+func (h *Host) OutstandingAt(t simclock.Time) int {
+	h.retireInflight(t)
+	return len(h.inflight)
+}
+
+// retireInflight pops every completion at or before t off the min-heap.
+func (h *Host) retireInflight(t simclock.Time) {
+	for len(h.inflight) > 0 && h.inflight[0] <= t {
+		heap.Pop(&h.inflight)
+	}
+}
+
+// timeHeap is a min-heap of completion times (container/heap.Interface).
+type timeHeap []simclock.Time
+
+func (h timeHeap) Len() int           { return len(h) }
+func (h timeHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h timeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timeHeap) Push(x any)        { *h = append(*h, x.(simclock.Time)) }
+func (h *timeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// CacheSnapshot is a point-in-time view of a host's cache and IO counters.
+// Cluster front-ends subtract two snapshots to attribute hits, misses and
+// SM reads to an individual query or window.
+type CacheSnapshot struct {
+	CacheHits    uint64
+	CacheMisses  uint64
+	PooledHits   uint64
+	PooledMisses uint64
+	SMReads      uint64
+	CPUBooked    time.Duration
+}
+
+// Sub returns the counter deltas s − o.
+func (s CacheSnapshot) Sub(o CacheSnapshot) CacheSnapshot {
+	return CacheSnapshot{
+		CacheHits:    s.CacheHits - o.CacheHits,
+		CacheMisses:  s.CacheMisses - o.CacheMisses,
+		PooledHits:   s.PooledHits - o.PooledHits,
+		PooledMisses: s.PooledMisses - o.PooledMisses,
+		SMReads:      s.SMReads - o.SMReads,
+		CPUBooked:    s.CPUBooked - o.CPUBooked,
+	}
+}
+
+// Add returns the field-wise sum of s and o.
+func (s CacheSnapshot) Add(o CacheSnapshot) CacheSnapshot {
+	return CacheSnapshot{
+		CacheHits:    s.CacheHits + o.CacheHits,
+		CacheMisses:  s.CacheMisses + o.CacheMisses,
+		PooledHits:   s.PooledHits + o.PooledHits,
+		PooledMisses: s.PooledMisses + o.PooledMisses,
+		SMReads:      s.SMReads + o.SMReads,
+		CPUBooked:    s.CPUBooked + o.CPUBooked,
+	}
+}
+
+// HitRate returns the row-cache hit rate of the snapshot (or delta).
+func (s CacheSnapshot) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Snapshot captures the host's cumulative cache and IO counters. Hosts
+// without a store report only the booked CPU.
+func (h *Host) Snapshot() CacheSnapshot {
+	s := CacheSnapshot{CPUBooked: h.cpuBooked}
+	if h.store != nil {
+		cs := h.store.CacheStats()
+		ps := h.store.PooledStats()
+		st := h.store.Stats()
+		s.CacheHits, s.CacheMisses = cs.Hits, cs.Misses
+		s.PooledHits, s.PooledMisses = ps.Hits, ps.Misses
+		s.SMReads = st.SMReads
+	}
+	return s
+}
+
 // RunOpenLoop offers n queries at the given arrival rate (Poisson) and
 // measures latency. Device and core state carry over between calls, so a
 // warmup call followed by a measurement call yields steady-state numbers.
@@ -368,11 +503,10 @@ func (h *Host) RunOpenLoop(qps float64, n int) (Result, error) {
 	}
 	lat := stats.NewHistogram()
 	var smReadsBefore uint64
-	var cpuBefore time.Duration
 	if h.store != nil {
 		smReadsBefore = h.store.Stats().SMReads
-		cpuBefore = h.store.Stats().CPUTime
 	}
+	cpuBefore := h.cpuBooked
 	start := h.clock.Now()
 	if h.horizon > start {
 		start = h.horizon
@@ -400,6 +534,10 @@ func (h *Host) RunOpenLoop(qps float64, n int) (Result, error) {
 	}
 	if elapsed > 0 {
 		res.AchievedQPS = float64(n) / elapsed
+		// All pooling CPU is booked through coreAdmit, so utilization is
+		// reported on every host flavor — the DRAM-only baseline included,
+		// which previously showed 0% because only store CPU was counted.
+		res.CPUUtil = (h.cpuBooked - cpuBefore).Seconds() / (elapsed * float64(h.cfg.Spec.Cores))
 	}
 	if h.store != nil {
 		st := h.store.Stats()
@@ -410,7 +548,6 @@ func (h *Host) RunOpenLoop(qps float64, n int) (Result, error) {
 		res.SMReadsPerQry = float64(st.SMReads-smReadsBefore) / float64(n)
 		if elapsed > 0 {
 			res.SustainedIOPS = float64(st.SMReads-smReadsBefore) / elapsed
-			res.CPUUtil = (st.CPUTime - cpuBefore).Seconds() / (elapsed * float64(h.cfg.Spec.Cores))
 		}
 	}
 	return res, nil

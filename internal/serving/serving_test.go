@@ -226,6 +226,80 @@ func TestHostParallelismDeterministic(t *testing.T) {
 	}
 }
 
+func TestFlatHostReportsCPUUtil(t *testing.T) {
+	// DRAM-baseline hosts pool from flat tables; their CPU work books on
+	// the cores and must show up as utilization (it used to read 0%
+	// because only store CPU was counted).
+	in, tables := fixture(t)
+	var clk simclock.Clock
+	gen, err := workload.NewGenerator(in, workload.Config{Seed: 10, NumUsers: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHost(in, nil, tables, gen, &clk, Config{Spec: HWL(), InterOp: true, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.RunOpenLoop(100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPUUtil <= 0 {
+		t.Fatalf("flat host CPU utilization %.4f, want > 0", res.CPUUtil)
+	}
+	if res.CPUUtil > 1.5 {
+		t.Fatalf("flat host CPU utilization %.4f implausible", res.CPUUtil)
+	}
+}
+
+func TestAdmitAndOutstanding(t *testing.T) {
+	// The cluster-facing interface: admissions in time order, outstanding
+	// counts retire as virtual time passes, snapshots expose cache deltas.
+	in, tables := fixture(t)
+	h, _ := sdmHost(t, in, tables,
+		Config{Spec: HWSS(), InterOp: true, Seed: 11},
+		core.Config{Seed: 11, Ring: uring.Config{SGL: true}, CacheBytes: 16 << 20})
+	gen, err := workload.NewGenerator(in, workload.Config{Seed: 11, NumUsers: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := h.Ready()
+	if h.OutstandingAt(t0) != 0 {
+		t.Fatal("fresh host should be idle")
+	}
+	before := h.Snapshot()
+	var lastDone simclock.Time
+	for i := 0; i < 8; i++ {
+		at := t0 + simclock.Time(i)*simclock.Time(10*time.Microsecond)
+		done, err := h.Admit(at, gen.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done <= at {
+			t.Fatalf("completion %v not after arrival %v", done, at)
+		}
+		if h.OutstandingAt(at) == 0 {
+			t.Fatal("admitted query should be outstanding at its arrival")
+		}
+		if done > lastDone {
+			lastDone = done
+		}
+	}
+	if h.OutstandingAt(lastDone) != 0 {
+		t.Fatalf("all queries done by %v, outstanding=%d", lastDone, h.OutstandingAt(lastDone))
+	}
+	delta := h.Snapshot().Sub(before)
+	if delta.CacheHits+delta.CacheMisses == 0 {
+		t.Fatal("admissions should touch the row cache")
+	}
+	if delta.CPUBooked <= 0 {
+		t.Fatal("admissions should book CPU")
+	}
+	if h.Ready() < lastDone {
+		t.Fatal("Ready must cover admitted work")
+	}
+}
+
 func TestNewHostValidation(t *testing.T) {
 	in, _ := fixture(t)
 	var clk simclock.Clock

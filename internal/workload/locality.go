@@ -141,6 +141,35 @@ func SpatialLocality(inst *model.Instance, qs []Query, blockSize int) []SpatialR
 	return out
 }
 
+// UserPartition returns the sticky partition of user across parts — the
+// hash shared by the offline Fig. 4c analyses (StickyRouter,
+// PartitionTrace, NextRouted). The serving-time cluster router uses its
+// own consistent-hash ring so hosts can join and leave; the two
+// assignments have the same statistical properties but differ per user.
+func UserPartition(user int64, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	h := uint64(user) * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return int(h % uint64(parts))
+}
+
+// PartitionTrace splits a trace across parts by sticky user partition,
+// preserving query order within each partition: the per-host sub-traces a
+// sticky front-end would deliver from one shared user population.
+func PartitionTrace(qs []Query, parts int) [][]Query {
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([][]Query, parts)
+	for _, q := range qs {
+		p := UserPartition(q.UserID, parts)
+		out[p] = append(out[p], q)
+	}
+	return out
+}
+
 // StickyRouter routes queries to hosts. Sticky routing pins a user to a
 // host (hash affinity), concentrating each user's accesses and raising the
 // per-host cache hit rate (§4.2: "Enforcing a user-to-host sticky policy
@@ -157,9 +186,7 @@ func (r *StickyRouter) Route(q Query) int {
 		return 0
 	}
 	if r.Sticky {
-		h := uint64(q.UserID) * 0x9e3779b97f4a7c15
-		h ^= h >> 32
-		return int(h % uint64(r.Hosts))
+		return UserPartition(q.UserID, r.Hosts)
 	}
 	r.rr = (r.rr + 1) % r.Hosts
 	return r.rr

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+
+	"sdm/internal/embedding"
+)
+
+func TestPerHostCDFDominatesGlobal(t *testing.T) {
+	// Fig. 4c: the temporal-locality CDF one host observes under sticky
+	// user→host routing dominates the CDF of the global user mix — each
+	// host sees fewer distinct users, so the same row-population fraction
+	// covers more of its accesses. The global mix is evaluated at the
+	// same per-host trace length (round-robin routing delivers exactly
+	// the unpartitioned population to every host); comparing against the
+	// full-length trace would confound routing with trace size.
+	in := smallInstance(t)
+	g := newGen(t, in, Config{Seed: 29, NumUsers: 2000, UserAlpha: 0.8})
+	qs := g.GenerateTrace(2000)
+
+	global := AverageCDF(PerHostTemporalLocality(in, qs, 8, false, 0), embedding.User)
+	perHost := AverageCDF(PerHostTemporalLocality(in, qs, 8, true, 0), embedding.User)
+	if global == nil || perHost == nil {
+		t.Fatal("CDFs missing")
+	}
+	if len(global) != len(perHost) {
+		t.Fatalf("CDF lengths differ: %d vs %d", len(global), len(perHost))
+	}
+	strictly := false
+	for k := range global {
+		// Pointwise dominance up to sampling noise: the per-host trace is
+		// 1/8 the size, so the hottest-row point (frac 1e-4 ≈ one row)
+		// can wobble by a couple of percent.
+		if perHost[k].Frac+0.02 < global[k].Frac {
+			t.Fatalf("per-host CDF %.4f below global %.4f at rows frac %g",
+				perHost[k].Frac, global[k].Frac, global[k].X)
+		}
+		// The interior of the curve is where the uplift shows; the
+		// endpoints converge to 1 by construction.
+		if global[k].X < 1 && perHost[k].Frac > global[k].Frac+0.01 {
+			strictly = true
+		}
+	}
+	if !strictly {
+		t.Fatal("per-host CDF should clearly dominate the global one in the interior")
+	}
+}
+
+func TestUserPartitionStable(t *testing.T) {
+	// The sticky hash is shared by the offline analysis and the cluster
+	// router: stable per user, in range, and consistent with StickyRouter.
+	r := &StickyRouter{Hosts: 5, Sticky: true}
+	for u := int64(0); u < 500; u++ {
+		p := UserPartition(u, 5)
+		if p < 0 || p >= 5 {
+			t.Fatalf("partition %d out of range for user %d", p, u)
+		}
+		if p != UserPartition(u, 5) {
+			t.Fatalf("partition unstable for user %d", u)
+		}
+		if got := r.Route(Query{UserID: u}); got != p {
+			t.Fatalf("StickyRouter disagrees with UserPartition for user %d: %d vs %d", u, got, p)
+		}
+	}
+	if UserPartition(123, 1) != 0 || UserPartition(123, 0) != 0 {
+		t.Fatal("degenerate partition counts must map to 0")
+	}
+}
+
+func TestPartitionTrace(t *testing.T) {
+	in := smallInstance(t)
+	g := newGen(t, in, Config{Seed: 31, NumUsers: 300})
+	qs := g.GenerateTrace(600)
+	parts := PartitionTrace(qs, 4)
+	if len(parts) != 4 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	total := 0
+	for p, sub := range parts {
+		total += len(sub)
+		for _, q := range sub {
+			if UserPartition(q.UserID, 4) != p {
+				t.Fatalf("user %d in wrong partition %d", q.UserID, p)
+			}
+		}
+	}
+	if total != len(qs) {
+		t.Fatalf("partitions cover %d of %d queries", total, len(qs))
+	}
+	// Order preserved within a partition: replay the trace and compare.
+	idx := make([]int, 4)
+	for _, q := range qs {
+		p := UserPartition(q.UserID, 4)
+		if parts[p][idx[p]].UserID != q.UserID {
+			t.Fatal("partition order not preserved")
+		}
+		idx[p]++
+	}
+}
+
+func TestNextRouted(t *testing.T) {
+	in := smallInstance(t)
+	a := newGen(t, in, Config{Seed: 37, NumUsers: 200})
+	b := newGen(t, in, Config{Seed: 37, NumUsers: 200})
+	for i := 0; i < 50; i++ {
+		q, p := a.NextRouted(4)
+		want := b.Next()
+		if q.UserID != want.UserID {
+			t.Fatal("NextRouted must not perturb the stream")
+		}
+		if p != UserPartition(q.UserID, 4) {
+			t.Fatalf("routed partition %d mismatch for user %d", p, q.UserID)
+		}
+	}
+}

@@ -197,6 +197,15 @@ func (g *Generator) Next() Query {
 	return q
 }
 
+// NextRouted returns the next query of the shared-population stream along
+// with its UserPartition among parts, so offline locality analyses can
+// consume one stream partition-aware without re-hashing (the serving-time
+// cluster router applies its own consistent hashing instead).
+func (g *Generator) NextRouted(parts int) (Query, int) {
+	q := g.Next()
+	return q, UserPartition(q.UserID, parts)
+}
+
 // GenerateTrace produces n queries.
 func (g *Generator) GenerateTrace(n int) []Query {
 	out := make([]Query, n)

@@ -29,13 +29,26 @@
 // accounting and statistics are bit-identical at every Parallelism
 // setting; only wall-clock time changes.
 //
-// See the examples/ directory for runnable end-to-end scenarios and
+// Beyond one host, the cluster subsystem runs N Host replicas behind a
+// front-end router with pluggable user→host policies (round-robin,
+// least-outstanding, sticky consistent hashing) over one shared Zipf user
+// population — the serving-time realization of the paper's Fig. 4c sticky
+// locality uplift and the measured input to fleet provisioning:
+//
+//	hosts, _ := sdm.NewFleetHosts(inst, tables, 4, &storeCfg, hostCfg)
+//	fleet, _ := sdm.NewFleet(hosts, sdm.NewSticky(4, 64), sdm.FleetConfig{})
+//	fleet.SetGenerator(gen)
+//	res, _ := fleet.Run(300, 2000)
+//
+// See the examples/ directory for runnable end-to-end scenarios,
 // cmd/sdmbench for the experiment harness that regenerates every table and
-// figure of the paper's evaluation.
+// figure of the paper's evaluation, and cmd/sdmcluster for the fleet
+// simulator CLI.
 package sdm
 
 import (
 	"sdm/internal/blockdev"
+	"sdm/internal/cluster"
 	"sdm/internal/core"
 	"sdm/internal/embedding"
 	"sdm/internal/model"
@@ -110,6 +123,35 @@ type (
 	Technology = blockdev.Technology
 	// TechSpec carries Table 1 parameters.
 	TechSpec = blockdev.TechSpec
+)
+
+// Cluster types (the multi-host fleet simulator).
+type (
+	// Fleet runs N Host replicas behind a routing front-end.
+	Fleet = cluster.Fleet
+	// FleetConfig tunes a fleet run (host workers, windows, seed);
+	// failure drills are armed with Fleet.ScheduleFailure.
+	FleetConfig = cluster.Config
+	// FleetResult is the per-host and fleet-wide outcome of a run.
+	FleetResult = cluster.Result
+	// Router is a pluggable user→host routing policy.
+	Router = cluster.Router
+	// CacheSnapshot is a point-in-time view of a host's cache counters.
+	CacheSnapshot = serving.CacheSnapshot
+)
+
+// Cluster constructors.
+var (
+	// NewFleet assembles a fleet from prebuilt hosts and a router.
+	NewFleet = cluster.New
+	// NewFleetHosts builds n identical hosts over shared tables.
+	NewFleetHosts = cluster.HostSet
+	// NewRoundRobin routes queries uniformly over alive hosts.
+	NewRoundRobin = cluster.NewRoundRobin
+	// NewLeastOutstanding routes to the least-loaded host.
+	NewLeastOutstanding = cluster.NewLeastOutstanding
+	// NewSticky pins users to hosts via consistent hashing (Fig. 4c).
+	NewSticky = cluster.NewSticky
 )
 
 // SM technologies (Table 1).
