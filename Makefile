@@ -1,8 +1,9 @@
 # Targets mirror the CI pipeline (.github/workflows/ci.yml).
 
 GO ?= go
+REV ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet fmt-check test race bench ci
+.PHONY: all build vet fmt-check test race bench bench-json ci
 
 all: build test
 
@@ -27,5 +28,10 @@ race:
 # One iteration of every benchmark — the CI smoke run.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Machine-readable results of every experiment for this revision — the
+# benchmark-trajectory artifact CI uploads (BENCH_<rev>.json per PR).
+bench-json:
+	$(GO) run ./cmd/sdmbench -json all > BENCH_$(REV).json
 
 ci: build vet fmt-check test race bench

@@ -49,6 +49,14 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	switch {
+	case *scale < 0 || *scale > 1:
+		return fmt.Errorf("-scale must be in (0, 1] (0 = preset), got %g", *scale)
+	case *queries < 0:
+		return fmt.Errorf("-queries must be >= 0 (0 = preset), got %d", *queries)
+	case *par < 0:
+		return fmt.Errorf("-par must be >= 0 (0 = all cores), got %d", *par)
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-8s %s\n", id, experiments.Title(id))

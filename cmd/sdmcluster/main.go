@@ -1,17 +1,22 @@
 // Command sdmcluster drives the multi-host fleet simulator: N SDM-backed
 // serving hosts behind a front-end router, one shared Zipf user population,
-// pluggable user→host routing policies and an optional mid-run host kill.
+// pluggable user→host routing policies, an optional mid-run host kill, and
+// an optional mid-run hot-set rotation with per-host adaptive tiering.
 //
 // Usage:
 //
 //	sdmcluster [-hosts n] [-policy rr|loq|sticky|all] [-qps q] [-queries n]
 //	           [-fail id] [-failfrac f] [-warm] [-workers w] [-seed s]
 //	           [-scale f] [-json]
+//	           [-drift f] [-adapt] [-hottables k] [-migbw bytes/s]
 //
 // Examples:
 //
 //	sdmcluster -policy all                 # compare the three policies
 //	sdmcluster -policy sticky -fail 1      # kill host 1 mid-run (§A.4)
+//	sdmcluster -hottables 2 -drift 0.5 -adapt
+//	                                       # rotate the hot set mid-run and
+//	                                       # let each host re-place tables
 //
 // Virtual-time results are bit-identical for a fixed seed at any -workers
 // value; the flag only changes wall-clock time.
@@ -25,10 +30,12 @@ import (
 
 	"runtime"
 
+	"sdm/internal/adapt"
 	"sdm/internal/blockdev"
 	"sdm/internal/cluster"
 	"sdm/internal/core"
 	"sdm/internal/model"
+	"sdm/internal/placement"
 	"sdm/internal/serving"
 	"sdm/internal/uring"
 	"sdm/internal/workload"
@@ -57,9 +64,37 @@ func run(args []string) error {
 		scale    = fs.Float64("scale", 3e-6, "model capacity scale")
 		users    = fs.Int64("users", 2000, "shared user population")
 		asJSON   = fs.Bool("json", false, "emit machine-readable results")
+		drift    = fs.Float64("drift", 0, "arm a hot-set rotation after this fraction of the measured run (0 = none)")
+		adaptOn  = fs.Bool("adapt", false, "attach the adaptive-tiering control loop to every host")
+		hotTabs  = fs.Int("hottables", 0, "spotlight user tables per drift phase (0 = stationary traffic)")
+		migBW    = fs.Float64("migbw", 16<<20, "adaptive migration bandwidth cap in bytes/s (0 = unpaced)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch {
+	case *hosts <= 0:
+		return fmt.Errorf("-hosts must be positive, got %d", *hosts)
+	case *queries <= 0:
+		return fmt.Errorf("-queries must be positive, got %d", *queries)
+	case *qps <= 0:
+		return fmt.Errorf("-qps must be positive, got %g", *qps)
+	case *windows <= 0:
+		return fmt.Errorf("-windows must be positive, got %d", *windows)
+	case *workers < 0:
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	case *scale <= 0 || *scale > 1:
+		return fmt.Errorf("-scale must be in (0, 1], got %g", *scale)
+	case *users <= 0:
+		return fmt.Errorf("-users must be positive, got %d", *users)
+	case *fail >= 0 && (*failfrac <= 0 || *failfrac > 1):
+		return fmt.Errorf("-failfrac must be in (0, 1], got %g", *failfrac)
+	case *drift < 0 || *drift > 1:
+		return fmt.Errorf("-drift must be in [0, 1], got %g", *drift)
+	case *hotTabs < 0:
+		return fmt.Errorf("-hottables must be >= 0, got %d", *hotTabs)
+	case *migBW < 0:
+		return fmt.Errorf("-migbw must be >= 0, got %g", *migBW)
 	}
 
 	policies, err := pickPolicies(*policy, *hosts)
@@ -88,7 +123,24 @@ func run(args []string) error {
 		Ring: uring.Config{SGL: true}, CacheBytes: 1 << 20,
 		Parallelism: runtime.GOMAXPROCS(0),
 	}
+	if *adaptOn {
+		// Adaptive tiering needs swappable tables and an FM budget for the
+		// controller to spend: a third of the user-side bytes.
+		var userBytes int64
+		for _, s := range inst.UserTables() {
+			userBytes += s.SizeBytes()
+		}
+		scfg.ReserveSM = true
+		scfg.Placement = placement.Config{
+			Policy: placement.FixedFMWithCache, UserTablesOnly: true,
+			DRAMBudget: userBytes / 3,
+		}
+	}
 	hcfg := serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: *seed}
+	wcfg := workload.Config{Seed: *seed, NumUsers: *users, UserAlpha: 0.8}
+	if *hotTabs > 0 {
+		wcfg.Drift = workload.DriftConfig{HotTables: *hotTabs}
+	}
 
 	var reports []map[string]any
 	for _, p := range policies {
@@ -96,13 +148,20 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		var adapters []*adapt.Adapter
+		if *adaptOn {
+			adapters, err = cluster.AttachAdaptive(hs, adapt.Config{BandwidthBytesPerSec: *migBW})
+			if err != nil {
+				return err
+			}
+		}
 		fl, err := cluster.New(hs, p, cluster.Config{
 			Seed: *seed, HostWorkers: *workers, Windows: *windows,
 		})
 		if err != nil {
 			return err
 		}
-		gen, err := workload.NewGenerator(inst, workload.Config{Seed: *seed, NumUsers: *users, UserAlpha: 0.8})
+		gen, err := workload.NewGenerator(inst, wcfg)
 		if err != nil {
 			return err
 		}
@@ -117,15 +176,31 @@ func run(args []string) error {
 				return err
 			}
 		}
+		if *drift > 0 {
+			if err := fl.ScheduleDrift(*drift); err != nil {
+				return err
+			}
+		}
 		res, err := fl.Run(*qps, *queries)
 		if err != nil {
 			return err
 		}
 		if *asJSON {
-			reports = append(reports, jsonReport(res))
+			rep := jsonReport(res)
+			if adapters != nil {
+				as := cluster.AdapterStats(adapters)
+				rep["adapter"] = map[string]any{
+					"evals": as.Evals, "promotions": as.Promotions,
+					"demotions": as.Demotions, "migrated_bytes": as.MigratedBytes,
+				}
+			}
+			reports = append(reports, rep)
 			continue
 		}
 		res.Print(os.Stdout)
+		if adapters != nil {
+			fmt.Println("adaptive:", cluster.AdapterStats(adapters))
+		}
 		fmt.Println()
 	}
 	if *asJSON {
@@ -164,9 +239,13 @@ func jsonReport(r *cluster.Result) map[string]any {
 	}
 	out := map[string]any{
 		"policy": r.Policy, "offered_qps": r.OfferedQPS, "achieved_qps": r.AchievedQPS,
-		"queries": r.Queries, "hit_rate": r.HitRate,
-		"p50_ms": r.Latency.P50() * 1e3, "p95_ms": r.Latency.P95() * 1e3, "p99_ms": r.Latency.P99() * 1e3,
+		"queries": r.Queries, "hit_rate": r.HitRate, "fm_served_rate": r.FMServedRate,
+		"p50_ms": r.Latency.P50() * 1e3, "p95_ms": r.Latency.P95() * 1e3,
+		"p99_ms": r.Latency.P99() * 1e3, "p999_ms": r.Latency.P999() * 1e3,
 		"hosts": hosts,
+	}
+	if r.DriftFired {
+		out["drift_at_s"] = r.DriftAt.Seconds()
 	}
 	if r.FailedHost >= 0 {
 		out["failed_host"] = r.FailedHost

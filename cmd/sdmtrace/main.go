@@ -41,6 +41,16 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	switch {
+	case *scale <= 0 || *scale > 1:
+		return fmt.Errorf("-scale must be in (0, 1], got %g", *scale)
+	case *queries <= 0:
+		return fmt.Errorf("-queries must be positive, got %d", *queries)
+	case *hosts <= 0:
+		return fmt.Errorf("-hosts must be positive, got %d", *hosts)
+	case *userTabs < 0 || *itemTabs < 0:
+		return fmt.Errorf("-usertables/-itemtables must be >= 0, got %d/%d", *userTabs, *itemTabs)
+	}
 	var cfg model.Config
 	switch *modelName {
 	case "M1":

@@ -1,0 +1,306 @@
+package adapt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sdm/internal/core"
+	"sdm/internal/placement"
+	"sdm/internal/simclock"
+)
+
+// Config tunes an Adapter.
+type Config struct {
+	// Interval is the virtual-time period between controller evaluations
+	// (default 200ms).
+	Interval time.Duration
+	// DRAMBudget bounds the bytes of FM-direct placement the controller
+	// may use. 0 inherits the store's placement budget; one of the two
+	// must be positive.
+	DRAMBudget int64
+	// BandwidthBytesPerSec caps migration IO issue rate in virtual time.
+	// 0 means unpaced: a whole table's chunks issue back to back, stealing
+	// as much device time as the rings allow (the worst-case tail hit the
+	// cap exists to bound).
+	BandwidthBytesPerSec float64
+	// ChunkBytes is the payload of one migration IO burst — the pacing
+	// granularity of the bandwidth cap (default 64 KiB).
+	ChunkBytes int
+	// Smoothing is the telemetry EWMA weight of the newest window in
+	// (0, 1]; 0 selects 0.5.
+	Smoothing float64
+	// Hysteresis is the demand-density advantage a challenger needs over
+	// an FM incumbent before a swap is scheduled (default 1.3; 1 disables
+	// stickiness).
+	Hysteresis float64
+	// MaxMigrationsPerEval bounds how many swaps one evaluation may
+	// enqueue (default 4), limiting churn under noisy telemetry.
+	MaxMigrationsPerEval int
+}
+
+// defaulted fills zero fields.
+func (c Config) defaulted() Config {
+	if c.Interval <= 0 {
+		c.Interval = 200 * time.Millisecond
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 64 << 10
+	}
+	if c.Hysteresis < 1 {
+		c.Hysteresis = 1.3
+	}
+	if c.MaxMigrationsPerEval <= 0 {
+		c.MaxMigrationsPerEval = 4
+	}
+	return c
+}
+
+// Stats counts what an Adapter has done.
+type Stats struct {
+	Evals         int
+	Promotions    int
+	Demotions     int
+	MigratedBytes int64
+	// LastEval is the virtual time of the most recent evaluation.
+	LastEval simclock.Time
+}
+
+// String renders the headline numbers.
+func (s Stats) String() string {
+	return fmt.Sprintf("evals=%d promotions=%d demotions=%d migrated=%dB",
+		s.Evals, s.Promotions, s.Demotions, s.MigratedBytes)
+}
+
+// migJob is one queued placement swap.
+type migJob struct {
+	table   int
+	promote bool
+}
+
+// activeMig paces one in-flight migration.
+type activeMig struct {
+	m         *core.Migration
+	nextIssue simclock.Time
+}
+
+// Adapter is the per-host adaptive-tiering control loop: it samples
+// telemetry on the host's admission stream, periodically re-evaluates the
+// Table-5 placement against live demand, and drives bandwidth-capped
+// FM↔SM migrations on the virtual timeline. It implements serving.Tuner;
+// install it with Host.SetTuner. Not safe for concurrent use — each host
+// owns one Adapter, mirroring the one-store-per-host discipline.
+type Adapter struct {
+	cfg   Config
+	store *core.Store
+	telem *Telemetry
+
+	budget   int64
+	nextEval simclock.Time
+	queue    []migJob
+	active   *activeMig
+	stats    Stats
+}
+
+// New builds an Adapter over a store opened with core.Config.ReserveSM.
+func New(store *core.Store, cfg Config) (*Adapter, error) {
+	if store == nil {
+		return nil, errors.New("adapt: nil store")
+	}
+	cfg = cfg.defaulted()
+	budget := cfg.DRAMBudget
+	if budget <= 0 {
+		budget = store.Config().Placement.DRAMBudget
+	}
+	if budget <= 0 {
+		return nil, errors.New("adapt: no DRAM budget (set Config.DRAMBudget or the store's placement budget)")
+	}
+	swappable := false
+	for _, ts := range store.TableStats(nil) {
+		if ts.Swappable {
+			swappable = true
+			break
+		}
+	}
+	if !swappable {
+		return nil, errors.New("adapt: store has no swappable tables (open it with core.Config.ReserveSM)")
+	}
+	return &Adapter{
+		cfg:      cfg,
+		store:    store,
+		telem:    NewTelemetry(cfg.Smoothing),
+		budget:   budget,
+		nextEval: store.LoadDone() + simclock.Time(cfg.Interval),
+	}, nil
+}
+
+// Telemetry exposes the decayed per-table view (for experiments and CLIs).
+func (a *Adapter) Telemetry() *Telemetry { return a.telem }
+
+// Stats returns what the adapter has done so far.
+func (a *Adapter) Stats() Stats { return a.stats }
+
+// PendingMigrations returns queued plus in-flight swap count.
+func (a *Adapter) PendingMigrations() int {
+	n := len(a.queue)
+	if a.active != nil {
+		n++
+	}
+	return n
+}
+
+// BeforeAdmit implements serving.Tuner: it advances migration pacing and,
+// on interval boundaries, re-evaluates placement. It runs before the
+// query executes, so a committed swap is visible to the very next query.
+func (a *Adapter) BeforeAdmit(now simclock.Time) {
+	a.advance(now)
+	if now < a.nextEval {
+		return
+	}
+	// One evaluation per elapsed interval (idle hosts don't replay a
+	// backlog of stale evaluations).
+	for a.nextEval <= now {
+		a.nextEval += simclock.Time(a.cfg.Interval)
+	}
+	a.telem.Sample(now, a.store)
+	a.stats.Evals++
+	a.stats.LastEval = now
+	a.evaluate()
+	a.advance(now)
+}
+
+// AfterAdmit implements serving.Tuner; the adapter keys everything off
+// arrival times, so completion times are unused.
+func (a *Adapter) AfterAdmit(arrive, done simclock.Time) {}
+
+// advance issues paced migration chunks up to virtual time now and
+// commits finished migrations whose IO has completed.
+func (a *Adapter) advance(now simclock.Time) {
+	for {
+		if a.active == nil {
+			if len(a.queue) == 0 {
+				return
+			}
+			job := a.queue[0]
+			a.queue = a.queue[1:]
+			m, err := a.begin(job)
+			if err != nil {
+				// The table moved (or was never swappable) since the
+				// evaluation that queued the job: drop it.
+				continue
+			}
+			a.active = &activeMig{m: m, nextIssue: now}
+		}
+		act := a.active
+		for !act.m.Finished() && act.nextIssue <= now {
+			n, _, err := act.m.Step(act.nextIssue)
+			if err != nil {
+				// Migration IO failed (device closed, capacity): abandon
+				// the swap; the table keeps its current placement.
+				a.active = nil
+				break
+			}
+			if a.cfg.BandwidthBytesPerSec > 0 {
+				act.nextIssue += simclock.Time(float64(n) / a.cfg.BandwidthBytesPerSec * float64(time.Second))
+			}
+		}
+		if a.active == nil {
+			continue
+		}
+		if !act.m.Finished() || act.m.Done() > now {
+			return // needs a later now to issue or settle
+		}
+		if err := act.m.Commit(); err == nil {
+			if act.m.Promote() {
+				a.stats.Promotions++
+			} else {
+				a.stats.Demotions++
+			}
+			a.stats.MigratedBytes += act.m.BytesMoved()
+		}
+		a.active = nil
+	}
+}
+
+// begin validates a queued job against the store's current state.
+func (a *Adapter) begin(job migJob) (*core.Migration, error) {
+	if job.promote {
+		return a.store.BeginPromote(job.table, a.cfg.ChunkBytes)
+	}
+	return a.store.BeginDemote(job.table, a.cfg.ChunkBytes)
+}
+
+// evaluate re-runs the Table-5 greedy FM promotion against live demand
+// densities and enqueues the placement diff as migrations (demotions
+// first, so the DRAM budget is respected throughout).
+func (a *Adapter) evaluate() {
+	type cand struct {
+		table   int
+		bytes   int64
+		density float64
+		inFM    bool
+	}
+	busy := make(map[int]bool, a.PendingMigrations())
+	if a.active != nil {
+		busy[a.active.m.Table()] = true
+	}
+	for _, j := range a.queue {
+		busy[j.table] = true
+	}
+
+	var cands []cand
+	for _, t := range a.telem.Tables() {
+		if !t.Swappable || t.Windows == 0 {
+			continue
+		}
+		c := cand{
+			table:   t.Table,
+			bytes:   t.StoredBytes,
+			density: t.Density(),
+			inFM:    a.store.TargetOf(t.Table) == placement.FM,
+		}
+		if c.inFM {
+			// Stickiness: an incumbent defends its slot unless a
+			// challenger beats it by the hysteresis factor.
+			c.density *= a.cfg.Hysteresis
+		}
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].density != cands[j].density {
+			return cands[i].density > cands[j].density
+		}
+		return cands[i].table < cands[j].table
+	})
+
+	// Greedy fill: the desired FM set under the budget.
+	desired := make(map[int]bool, len(cands))
+	remaining := a.budget
+	for _, c := range cands {
+		if c.density <= 0 {
+			break
+		}
+		if c.bytes <= remaining {
+			desired[c.table] = true
+			remaining -= c.bytes
+		}
+	}
+
+	// Diff against current placement; demotions first.
+	var moves []migJob
+	for _, c := range cands {
+		if c.inFM && !desired[c.table] && !busy[c.table] {
+			moves = append(moves, migJob{table: c.table, promote: false})
+		}
+	}
+	for _, c := range cands {
+		if !c.inFM && desired[c.table] && !busy[c.table] {
+			moves = append(moves, migJob{table: c.table, promote: true})
+		}
+	}
+	if len(moves) > a.cfg.MaxMigrationsPerEval {
+		moves = moves[:a.cfg.MaxMigrationsPerEval]
+	}
+	a.queue = append(a.queue, moves...)
+}

@@ -1,0 +1,136 @@
+// Package adapt closes the loop the paper's §4.6 Tuning API leaves open:
+// placement there is chosen once, offline, from a static locality profile,
+// but production traffic drifts — hot sets rotate, the user mix shifts,
+// flash crowds appear. The subsystem has three parts: per-table windowed
+// telemetry with exponential decay (this file), a controller that
+// periodically re-evaluates the Table-5 placement against live stats, and
+// a migration engine that moves table rows FM↔SM through the store's
+// rings under a configurable bandwidth cap, so migration IO is accounted
+// in virtual time and visibly competes with foreground queries.
+//
+// Everything runs on the host's discrete-event timeline, driven from the
+// serving.Tuner hooks in admission order; results are therefore
+// bit-identical for a fixed seed at any worker count.
+package adapt
+
+import (
+	"sdm/internal/core"
+	"sdm/internal/simclock"
+)
+
+// TableTelemetry is one table's decayed view of live traffic.
+type TableTelemetry struct {
+	Table     int
+	Swappable bool
+	// StoredBytes is the table's migratable footprint.
+	StoredBytes int64
+	// LookupRate is the decayed row-lookup rate (lookups/s of virtual time).
+	LookupRate float64
+	// DemandBytes is the decayed bandwidth demand (bytes/s the table's
+	// lookups would pull if every row came from its backing store).
+	DemandBytes float64
+	// FMServed is the decayed fraction of lookups served from fast memory
+	// (cache hits + direct FM reads).
+	FMServed float64
+	// Reuse is the decayed row-cache hit rate — the reuse signal behind
+	// the paper's per-table cache enablement.
+	Reuse float64
+	// Windows counts samples folded into the decayed values.
+	Windows int
+}
+
+// Density returns the bandwidth demand per byte of capacity — the greedy
+// ranking key of the Table-5 FM promotion, computed from live stats
+// instead of the static profile.
+func (t TableTelemetry) Density() float64 {
+	if t.StoredBytes <= 0 {
+		return 0
+	}
+	return t.DemandBytes / float64(t.StoredBytes)
+}
+
+// Telemetry accumulates per-table windowed counters from a store's
+// cumulative TableStats, decaying older windows exponentially.
+type Telemetry struct {
+	// smoothing is the EWMA weight of the newest window.
+	smoothing float64
+	tables    []TableTelemetry
+	prev      []core.TableStat
+	cur       []core.TableStat // scratch
+	lastAt    simclock.Time
+	primed    bool
+}
+
+// NewTelemetry builds a telemetry accumulator. smoothing is the EWMA
+// weight of the newest window in (0, 1]; 0 selects 0.5.
+func NewTelemetry(smoothing float64) *Telemetry {
+	if smoothing <= 0 || smoothing > 1 {
+		smoothing = 0.5
+	}
+	return &Telemetry{smoothing: smoothing}
+}
+
+// Sample folds the counter deltas since the previous Sample into the
+// decayed per-table telemetry. The first call only establishes the
+// baseline.
+func (tl *Telemetry) Sample(now simclock.Time, s *core.Store) {
+	tl.cur = s.TableStats(tl.cur)
+	if !tl.primed {
+		tl.prev = append(tl.prev[:0], tl.cur...)
+		tl.tables = make([]TableTelemetry, len(tl.cur))
+		for i, ts := range tl.cur {
+			tl.tables[i] = TableTelemetry{Table: ts.Table, Swappable: ts.Swappable, StoredBytes: ts.StoredBytes}
+		}
+		tl.lastAt = now
+		tl.primed = true
+		return
+	}
+	dt := (now - tl.lastAt).Seconds()
+	if dt <= 0 {
+		return
+	}
+	a := tl.smoothing
+	for i, cur := range tl.cur {
+		prev := tl.prev[i]
+		t := &tl.tables[i]
+		t.Swappable = cur.Swappable
+		t.StoredBytes = cur.StoredBytes
+		lookups := cur.Lookups - prev.Lookups
+		smReads := cur.SMReads - prev.SMReads
+		hits := cur.CacheHits - prev.CacheHits
+		misses := cur.CacheMisses - prev.CacheMisses
+
+		rate := float64(lookups) / dt
+		demand := rate * float64(cur.RowBytes)
+		fmServed := 0.0
+		if lookups > 0 {
+			fmServed = 1 - float64(smReads)/float64(lookups)
+		}
+		reuse := 0.0
+		if hits+misses > 0 {
+			reuse = float64(hits) / float64(hits+misses)
+		}
+		if t.Windows == 0 {
+			t.LookupRate, t.DemandBytes, t.FMServed, t.Reuse = rate, demand, fmServed, reuse
+		} else {
+			t.LookupRate += a * (rate - t.LookupRate)
+			t.DemandBytes += a * (demand - t.DemandBytes)
+			t.FMServed += a * (fmServed - t.FMServed)
+			t.Reuse += a * (reuse - t.Reuse)
+		}
+		t.Windows++
+	}
+	tl.prev = append(tl.prev[:0], tl.cur...)
+	tl.lastAt = now
+}
+
+// Tables returns the decayed per-table telemetry (indexed by table).
+func (tl *Telemetry) Tables() []TableTelemetry { return tl.tables }
+
+// Table returns table i's telemetry (zero value before the first sample).
+func (tl *Telemetry) Table(i int) TableTelemetry {
+	if i < 0 || i >= len(tl.tables) {
+		return TableTelemetry{}
+	}
+	return tl.tables[i]
+}

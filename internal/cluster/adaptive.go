@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+
+	"sdm/internal/adapt"
+	"sdm/internal/serving"
+)
+
+// AttachAdaptive gives a fleet's hosts the adaptive-tiering control loop:
+// one adapt.Adapter per SDM-backed host (installed as its Tuner), each
+// sampling telemetry and migrating tables on its own host's admission
+// stream. Entries for storeless hosts (flat/remote baselines) are nil.
+// Call it on the host slice before building the Fleet; determinism is
+// unaffected because each adapter runs in its host's FIFO order.
+func AttachAdaptive(hosts []*serving.Host, cfg adapt.Config) ([]*adapt.Adapter, error) {
+	adapters := make([]*adapt.Adapter, len(hosts))
+	attached := 0
+	for i, h := range hosts {
+		s := h.Store()
+		if s == nil {
+			continue
+		}
+		a, err := adapt.New(s, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: adaptive host %d: %w", i, err)
+		}
+		h.SetTuner(a)
+		adapters[i] = a
+		attached++
+	}
+	if attached == 0 {
+		return nil, fmt.Errorf("cluster: no SDM-backed hosts to adapt")
+	}
+	return adapters, nil
+}
+
+// AdapterStats sums the per-host adapter counters (nil entries skipped).
+func AdapterStats(adapters []*adapt.Adapter) adapt.Stats {
+	var agg adapt.Stats
+	for _, a := range adapters {
+		if a == nil {
+			continue
+		}
+		s := a.Stats()
+		agg.Evals += s.Evals
+		agg.Promotions += s.Promotions
+		agg.Demotions += s.Demotions
+		agg.MigratedBytes += s.MigratedBytes
+		if s.LastEval > agg.LastEval {
+			agg.LastEval = s.LastEval
+		}
+	}
+	return agg
+}

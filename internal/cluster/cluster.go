@@ -65,6 +65,11 @@ type Fleet struct {
 	// armed failure for the next Run (ScheduleFailure); -1 when disarmed.
 	failHost int
 	failFrac float64
+
+	// armed drift drill for the next Run (ScheduleDrift).
+	driftArmed bool
+	driftFrac  float64
+	driftAt    simclock.Time
 }
 
 // member serializes one host's execution: the front-end appends routed
@@ -157,6 +162,25 @@ func (f *Fleet) ScheduleFailure(host int, frac float64) error {
 	return nil
 }
 
+// ScheduleDrift arms a hot-set rotation for the next Run (the drift
+// counterpart of ScheduleFailure): after frac of that run's queries have
+// been routed (frac <= 0 selects 0.5), the shared generator's drift phase
+// is forced forward one rotation, so the hot user cohort, the spotlight
+// tables and every entity-keyed row sequence shift fleet-wide between one
+// arrival and the next. Static placements stay degraded afterwards;
+// adaptive hosts (AttachAdaptive) re-converge. Unlike failures, drift
+// drills may be re-armed run after run.
+func (f *Fleet) ScheduleDrift(frac float64) error {
+	if frac > 1 {
+		return fmt.Errorf("cluster: drift fraction %g > 1", frac)
+	}
+	if frac <= 0 {
+		frac = 0.5
+	}
+	f.driftArmed, f.driftFrac = true, frac
+	return nil
+}
+
 // fleetView adapts the fleet to the router's View.
 type fleetView struct{ f *Fleet }
 
@@ -215,13 +239,29 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 			failIdx = n - 1
 		}
 	}
+	driftIdx := -1
+	if f.driftArmed {
+		driftIdx = int(f.driftFrac * float64(n))
+		if driftIdx >= n {
+			driftIdx = n - 1
+		}
+		f.driftArmed = false
+	}
 
 	view := fleetView{f}
 	t := start
 	fired := false
+	drifted := false
 	var runErr error
 	for i := 0; i < n; i++ {
 		t += simclock.Time(f.rng.Exp(1 / qps * float64(time.Second)))
+		if i == driftIdx {
+			// The rotation lands between arrivals: query i is the first
+			// of the new regime.
+			f.gen.ForceRotation()
+			f.driftAt = t
+			drifted = true
+		}
 		q := f.gen.Next()
 		if i == failIdx {
 			if runErr = f.syncAll(); runErr != nil {
@@ -262,7 +302,7 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
-	return f.aggregate(qps, start, t, records, fired), nil
+	return f.aggregate(qps, start, t, records, fired, drifted), nil
 }
 
 // push appends a routed job to the member's FIFO queue.

@@ -3,10 +3,13 @@ package cluster
 import (
 	"strings"
 	"testing"
+	"time"
 
+	"sdm/internal/adapt"
 	"sdm/internal/core"
 	"sdm/internal/embedding"
 	"sdm/internal/model"
+	"sdm/internal/placement"
 	"sdm/internal/serving"
 	"sdm/internal/uring"
 	"sdm/internal/workload"
@@ -95,6 +98,148 @@ func TestFleetDeterministicAcrossWorkers(t *testing.T) {
 				t.Fatalf("%s: results diverged across worker counts:\n%s\nvs\n%s", name, keys[0], keys[i])
 			}
 		}
+	}
+}
+
+// adaptiveFixture builds an instance whose user tables are equal-sized,
+// so a DRAM budget of ~2 tables makes hot-set rotation genuinely force
+// FM↔SM swaps.
+func adaptiveFixture(t *testing.T) (*model.Instance, []*embedding.Table) {
+	t.Helper()
+	cfg := model.M1()
+	cfg.NumUserTables = 6
+	cfg.NumItemTables = 2
+	cfg.ItemBatch = 4
+	cfg.TotalBytes = 1 << 21
+	cfg.NumMLPLayers = 4
+	cfg.AvgMLPWidth = 64
+	in, err := model.Build(cfg, 1, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perTable = 96 << 10
+	for i := 0; i < cfg.NumUserTables; i++ {
+		in.Tables[i].Rows = perTable / int64(in.Tables[i].RowBytes())
+	}
+	tables, err := in.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, tables
+}
+
+// adaptiveFleet assembles n adaptive SDM hosts behind sticky routing over
+// a drifting shared workload.
+func adaptiveFleet(t *testing.T, in *model.Instance, tables []*embedding.Table, n, workers int) (*Fleet, []*adapt.Adapter) {
+	t.Helper()
+	scfg := core.Config{
+		Seed: 7, Ring: uring.Config{SGL: true}, CacheBytes: 1 << 16,
+		ReserveSM: true,
+		Placement: placement.Config{
+			Policy: placement.FixedFMWithCache, UserTablesOnly: true,
+			DRAMBudget: 5 * (96 << 10) / 2,
+		},
+	}
+	hosts, err := HostSet(in, tables, n, &scfg, serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapters, err := AttachAdaptive(hosts, adapt.Config{
+		Interval: 100 * time.Millisecond, BandwidthBytesPerSec: 8 << 20, ChunkBytes: 16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(hosts, NewSticky(n, 64), Config{Seed: 11, HostWorkers: workers, Windows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(in, workload.Config{
+		Seed: 11, NumUsers: 800, UserAlpha: 0.9,
+		Drift: workload.DriftConfig{HotTables: 2, HotBoost: 4, ColdShrink: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetGenerator(gen)
+	return f, adapters
+}
+
+func TestAdaptiveFleetDeterministicAcrossWorkers(t *testing.T) {
+	// The adaptive determinism contract: telemetry sampling, controller
+	// evaluations and paced migration IO all ride the per-host admission
+	// order, so a drift drill over real goroutines stays bit-identical at
+	// any worker count.
+	in, tables := adaptiveFixture(t)
+	var keys []string
+	for _, workers := range []int{1, 2, 4} {
+		f, adapters := adaptiveFleet(t, in, tables, 3, workers)
+		if _, err := f.Run(300, 600); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.ScheduleDrift(0.5); err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(300, 900)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, resultKey(t, res)+AdapterStats(adapters).String())
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[0] {
+			t.Fatalf("adaptive fleet diverged across worker counts:\n%s\nvs\n%s", keys[0], keys[i])
+		}
+	}
+}
+
+func TestScheduleDriftDrill(t *testing.T) {
+	in, tables := adaptiveFixture(t)
+	f, adapters := adaptiveFleet(t, in, tables, 3, 0)
+	if err := f.ScheduleDrift(1.5); err == nil {
+		t.Fatal("drift fraction > 1 should be rejected")
+	}
+	if _, err := f.Run(300, 600); err != nil { // warm + converge
+		t.Fatal(err)
+	}
+	pre := AdapterStats(adapters)
+	if pre.Evals == 0 {
+		t.Fatal("adapters never evaluated during warmup")
+	}
+	if err := f.ScheduleDrift(0.4); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(300, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DriftFired || res.DriftAt <= res.Start {
+		t.Fatalf("drift drill not recorded: fired=%t at=%v", res.DriftFired, res.DriftAt)
+	}
+	post := AdapterStats(adapters)
+	if post.Promotions <= pre.Promotions {
+		t.Fatalf("rotation should trigger promotions: %s -> %s", pre, post)
+	}
+	if post.MigratedBytes <= pre.MigratedBytes {
+		t.Fatalf("migrations should move bytes: %s -> %s", pre, post)
+	}
+	// A later run is not itself a drill.
+	after, err := f.Run(300, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.DriftFired {
+		t.Fatal("drift drill state leaked into the next run")
+	}
+	// Window FM-served rates are populated for SDM fleets.
+	var sawFM bool
+	for _, w := range res.Windows {
+		if w.FMRate > 0 {
+			sawFM = true
+		}
+	}
+	if !sawFM {
+		t.Fatalf("window FM rates empty: %+v", res.Windows)
 	}
 }
 

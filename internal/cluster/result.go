@@ -21,7 +21,10 @@ type HostResult struct {
 	// HitRate is the row-cache hit rate over this run's queries only.
 	HitRate       float64
 	PooledHitRate float64
-	SMReads       uint64
+	// FMServedRate is the fraction of store lookups served from fast
+	// memory (cache hits + FM-direct) — the placement-aware hit metric.
+	FMServedRate float64
+	SMReads      uint64
 }
 
 // WindowStat aggregates one equal-width virtual-time window of the run —
@@ -31,7 +34,9 @@ type WindowStat struct {
 	Queries    int
 	MeanLat    float64 // seconds
 	P99        float64 // seconds
+	MaxLat     float64 // seconds — catches sub-window bursts p99 dilutes away
 	HitRate    float64
+	FMRate     float64 // FM-served fraction of store lookups
 	SMPerQuery float64
 }
 
@@ -43,12 +48,19 @@ type Result struct {
 	Start, End simclock.Time
 
 	// Fleet-wide aggregates.
-	Latency     *stats.Histogram
-	AchievedQPS float64
-	HitRate     float64
+	Latency      *stats.Histogram
+	AchievedQPS  float64
+	HitRate      float64
+	FMServedRate float64
 
 	Hosts   []HostResult
 	Windows []WindowStat
+
+	// Drift drill outputs, populated for the Run in which a scheduled
+	// hot-set rotation fired (DriftFired): the rotation instant, for
+	// reading the Windows time series relative to it.
+	DriftFired bool
+	DriftAt    simclock.Time
 
 	// Failure scenario outputs, populated only for the Run in which the
 	// kill actually fired (FailedHost < 0 otherwise — later Runs keep the
@@ -70,8 +82,9 @@ type Result struct {
 
 // aggregate folds the per-query records into a Result in index order, so
 // every derived number is independent of execution interleaving. fired
-// reports whether the armed host kill executed during this Run.
-func (f *Fleet) aggregate(qps float64, start, lastArrival simclock.Time, records []record, fired bool) *Result {
+// reports whether the armed host kill executed during this Run; drifted
+// whether the armed hot-set rotation did.
+func (f *Fleet) aggregate(qps float64, start, lastArrival simclock.Time, records []record, fired, drifted bool) *Result {
 	res := &Result{
 		Policy:     f.router.Name(),
 		OfferedQPS: qps,
@@ -83,6 +96,10 @@ func (f *Fleet) aggregate(qps float64, start, lastArrival simclock.Time, records
 	if fired {
 		res.FailedHost = f.failed
 		res.FailTime = f.failedAt
+	}
+	if drifted {
+		res.DriftFired = true
+		res.DriftAt = f.driftAt
 	}
 	hosts := make([]HostResult, len(f.members))
 	hostDelta := make([]serving.CacheSnapshot, len(f.members))
@@ -97,7 +114,6 @@ func (f *Fleet) aggregate(qps float64, start, lastArrival simclock.Time, records
 			continue
 		}
 		lat := (r.done - r.arrive).Seconds()
-		res.Latency.Observe(lat)
 		hosts[r.host].Queries++
 		hosts[r.host].Latency.Observe(lat)
 		hostDelta[r.host] = hostDelta[r.host].Add(r.delta)
@@ -106,18 +122,25 @@ func (f *Fleet) aggregate(qps float64, start, lastArrival simclock.Time, records
 			end = r.done
 		}
 	}
+	// Fleet latency is the bucket-wise merge of the per-host histograms —
+	// identical to observing every sample, without the re-observation.
+	for i := range hosts {
+		res.Latency.Merge(hosts[i].Latency)
+	}
 	res.End = end
 	elapsed := (end - start).Seconds()
 	if elapsed > 0 {
 		res.AchievedQPS = float64(res.Latency.Count()) / elapsed
 	}
 	res.HitRate = fleetDelta.HitRate()
+	res.FMServedRate = fleetDelta.FMServedRate()
 	for i := range hosts {
 		d := hostDelta[i]
 		hosts[i].HitRate = d.HitRate()
 		if ph := d.PooledHits + d.PooledMisses; ph > 0 {
 			hosts[i].PooledHitRate = float64(d.PooledHits) / float64(ph)
 		}
+		hosts[i].FMServedRate = d.FMServedRate()
 		hosts[i].SMReads = d.SMReads
 		if elapsed > 0 {
 			hosts[i].AchievedQPS = float64(hosts[i].Queries) / elapsed
@@ -205,7 +228,9 @@ func windowOver(records []record, lo, hi simclock.Time) WindowStat {
 	if foundAny {
 		w.MeanLat = lat.Mean()
 		w.P99 = lat.P99()
+		w.MaxLat = lat.Max()
 		w.HitRate = delta.HitRate()
+		w.FMRate = delta.FMServedRate()
 		w.SMPerQuery = float64(delta.SMReads) / float64(w.Queries)
 	}
 	return w
@@ -213,14 +238,14 @@ func windowOver(records []record, lo, hi simclock.Time) WindowStat {
 
 // String renders one host's share of the run.
 func (h HostResult) String() string {
-	return fmt.Sprintf("host%d alive=%t q=%d qps=%.3f p99=%.6f hit=%.4f sm=%d",
-		h.ID, h.Alive, h.Queries, h.AchievedQPS, h.Latency.P99(), h.HitRate, h.SMReads)
+	return fmt.Sprintf("host%d alive=%t q=%d qps=%.3f p99=%.6f hit=%.4f fm=%.4f sm=%d",
+		h.ID, h.Alive, h.Queries, h.AchievedQPS, h.Latency.P99(), h.HitRate, h.FMServedRate, h.SMReads)
 }
 
 // String renders one window of the run's time series.
 func (w WindowStat) String() string {
-	return fmt.Sprintf("[%d,%d) q=%d mean=%.6f p99=%.6f hit=%.4f sm=%.3f",
-		w.Start, w.End, w.Queries, w.MeanLat, w.P99, w.HitRate, w.SMPerQuery)
+	return fmt.Sprintf("[%d,%d) q=%d mean=%.6f p99=%.6f max=%.6f hit=%.4f fm=%.4f sm=%.3f",
+		w.Start, w.End, w.Queries, w.MeanLat, w.P99, w.MaxLat, w.HitRate, w.FMRate, w.SMPerQuery)
 }
 
 // String renders the fleet headline.
@@ -244,12 +269,15 @@ func (r *Result) Print(w io.Writer) {
 			h.ID, h.Alive, h.Queries, h.AchievedQPS, h.Latency.P99()*1e3, h.HitRate*100, h.SMReads)
 	}
 	if len(r.Windows) > 0 {
-		fmt.Fprintf(w, "%-10s %8s %10s %10s %10s %8s\n",
-			"window", "queries", "mean(ms)", "p99(ms)", "hit%", "sm/qry")
+		fmt.Fprintf(w, "%-10s %8s %10s %10s %10s %8s %8s\n",
+			"window", "queries", "mean(ms)", "p99(ms)", "hit%", "fm%", "sm/qry")
 		for i, win := range r.Windows {
-			fmt.Fprintf(w, "w%-9d %8d %10.2f %10.2f %10.1f %8.1f\n",
-				i, win.Queries, win.MeanLat*1e3, win.P99*1e3, win.HitRate*100, win.SMPerQuery)
+			fmt.Fprintf(w, "w%-9d %8d %10.2f %10.2f %10.1f %8.1f %8.1f\n",
+				i, win.Queries, win.MeanLat*1e3, win.P99*1e3, win.HitRate*100, win.FMRate*100, win.SMPerQuery)
 		}
+	}
+	if r.DriftFired {
+		fmt.Fprintf(w, "drift: hot-set rotation at t=%.2fs\n", r.DriftAt.Seconds())
 	}
 	if r.FailedHost >= 0 {
 		fmt.Fprintf(w, "failure: host %d at t=%.2fs, rerouted users=%d, warmup spike=%.2fx, hit drop=%.1fpp\n",

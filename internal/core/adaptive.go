@@ -1,0 +1,316 @@
+// Runtime adaptive-tiering support: per-table telemetry export and the
+// FM↔SM migration primitives the adapt subsystem drives. A store opened
+// with Config.ReserveSM provisions every SM-eligible table for swaps
+// (reserved stripe + cache shard); migrations then move a table's rows
+// through the same rings and devices foreground queries use, so migration
+// IO is accounted in virtual time and visibly competes with serving
+// traffic. Pacing (the bandwidth cap) is the caller's job: the engine
+// exposes chunked Steps, the adapt migrator decides when to issue them.
+
+package core
+
+import (
+	"fmt"
+
+	"sdm/internal/cache"
+	"sdm/internal/embedding"
+	"sdm/internal/placement"
+	"sdm/internal/simclock"
+)
+
+// TableStat is one table's live runtime view: current placement plus the
+// counters accumulated since load. The query engine folds counters in
+// operator order, so every field is parallelism-invariant.
+type TableStat struct {
+	Table        int
+	Target       placement.Target
+	Swappable    bool
+	CacheEnabled bool
+	// StoredBytes is the table's stored footprint (the bytes a migration
+	// moves); RowBytes the stored row size.
+	StoredBytes int64
+	RowBytes    int
+
+	Lookups       uint64
+	SMReads       uint64
+	FMDirectReads uint64
+	CacheHits     uint64
+	CacheMisses   uint64
+	PooledHits    uint64
+	PooledMisses  uint64
+}
+
+// FMServedRate returns the fraction of the table's row lookups served
+// from fast memory (cache hits + direct FM reads) rather than SM.
+func (t TableStat) FMServedRate() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return 1 - float64(t.SMReads)/float64(t.Lookups)
+}
+
+// TableStats appends one TableStat per table (in table order) to dst and
+// returns it — the telemetry feed of the adapt subsystem. Counters are
+// cumulative; samplers subtract consecutive snapshots.
+func (s *Store) TableStats(dst []TableStat) []TableStat {
+	dst = dst[:0]
+	for i, st := range s.tables {
+		ts := TableStat{
+			Table:         i,
+			Target:        st.target,
+			Swappable:     st.swappable,
+			CacheEnabled:  st.cacheEnabled,
+			StoredBytes:   st.spec.SizeBytes(),
+			RowBytes:      st.spec.RowBytes(),
+			Lookups:       st.runtime.Lookups,
+			SMReads:       st.runtime.SMReads,
+			FMDirectReads: st.runtime.FMDirectReads,
+			PooledHits:    st.runtime.PooledHits,
+			PooledMisses:  st.runtime.PooledMisses,
+		}
+		if st.rowBytes > 0 {
+			ts.StoredBytes = st.storedSpec.SizeBytes()
+			ts.RowBytes = st.rowBytes
+		}
+		if st.cache != nil {
+			cs := st.cache.Stats()
+			ts.CacheHits, ts.CacheMisses = cs.Hits, cs.Misses
+		}
+		dst = append(dst, ts)
+	}
+	return dst
+}
+
+// Migration is one in-progress FM↔SM table move. The caller issues chunks
+// with Step at virtual times of its choosing (that is where a bandwidth
+// cap lives), then finalizes the placement swap with Commit once the last
+// chunk's IO has completed on the virtual timeline. Migrations are not
+// concurrency-safe and must be driven from the same discrete-event thread
+// as queries.
+type Migration struct {
+	s  *Store
+	st *tableState
+
+	table     int
+	promote   bool // SM→FM reads; false = FM→SM writes
+	chunkRows int64
+	next      int64
+
+	data    []byte // promote: FM destination (stored row order)
+	src     []byte // demote: FM source bytes
+	staging []byte // per-device gather/scatter buffer
+
+	issuedBytes int64
+	done        simclock.Time
+	finished    bool
+	committed   bool
+}
+
+// migrationState validates a swap request and returns the table state.
+func (s *Store) migrationState(table int, want placement.Target) (*tableState, error) {
+	if table < 0 || table >= len(s.tables) {
+		return nil, fmt.Errorf("core: migrate table %d of %d", table, len(s.tables))
+	}
+	st := s.tables[table]
+	if !st.swappable {
+		return nil, fmt.Errorf("core: table %d is not swappable (store not opened with ReserveSM, or table SM-ineligible)", table)
+	}
+	if st.target != want {
+		return nil, fmt.Errorf("core: table %d is %s-resident, want %s", table, st.target, want)
+	}
+	return st, nil
+}
+
+// newMigration sizes the chunking for one migration.
+func newMigration(s *Store, st *tableState, table int, promote bool, chunkBytes int) *Migration {
+	rb := int64(st.rowBytes)
+	rows := int64(chunkBytes) / rb
+	if rows < 1 {
+		rows = 1
+	}
+	return &Migration{
+		s: s, st: st, table: table, promote: promote,
+		chunkRows: rows,
+		staging:   make([]byte, rows*rb),
+	}
+}
+
+// BeginPromote starts migrating an SM-resident table into FM: chunks read
+// the table's stripes back through the rings (stealing device channels
+// and bus time from foreground queries), and Commit installs the rebuilt
+// FM table. chunkBytes is the payload of one Step (<= 0 selects 256 KiB).
+func (s *Store) BeginPromote(table int, chunkBytes int) (*Migration, error) {
+	st, err := s.migrationState(table, placement.SM)
+	if err != nil {
+		return nil, err
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = 256 << 10
+	}
+	m := newMigration(s, st, table, true, chunkBytes)
+	m.data = make([]byte, st.storedSpec.SizeBytes())
+	return m, nil
+}
+
+// BeginDemote starts migrating an FM-resident table out to its reserved
+// SM stripe: chunks write through the rings (program latency + endurance
+// wear), and Commit drops the FM copy. The table's cache shard is kept —
+// rows are immutable, so any entries from an earlier SM stint stay valid.
+func (s *Store) BeginDemote(table int, chunkBytes int) (*Migration, error) {
+	st, err := s.migrationState(table, placement.FM)
+	if err != nil {
+		return nil, err
+	}
+	if st.fm == nil {
+		return nil, fmt.Errorf("core: table %d has no FM copy to demote", table)
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = 256 << 10
+	}
+	m := newMigration(s, st, table, false, chunkBytes)
+	m.src = st.fm.Bytes()
+	return m, nil
+}
+
+// Table returns the table being migrated.
+func (m *Migration) Table() int { return m.table }
+
+// Promote reports the direction (true = SM→FM).
+func (m *Migration) Promote() bool { return m.promote }
+
+// Finished reports whether every chunk has been issued.
+func (m *Migration) Finished() bool { return m.finished }
+
+// Done returns the completion time of the slowest chunk issued so far.
+func (m *Migration) Done() simclock.Time { return m.done }
+
+// BytesMoved returns the migration bytes issued so far.
+func (m *Migration) BytesMoved() int64 { return m.issuedBytes }
+
+// ceilRows returns the smallest j >= 0 with j*n >= a.
+func ceilRows(a, n int64) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return (a + n - 1) / n
+}
+
+// Step issues the next chunk at virtual time now: one ring submission per
+// device covering the chunk's share of the stripe. It returns the bytes
+// issued and the chunk's IO completion time. After the final chunk,
+// Finished reports true; Commit may then be called once the caller's
+// clock passes Done.
+func (m *Migration) Step(now simclock.Time) (int, simclock.Time, error) {
+	if m.finished {
+		return 0, m.done, nil
+	}
+	s, st := m.s, m.st
+	n := int64(s.cfg.NumDevices)
+	rb := int64(st.rowBytes)
+	r0 := m.next
+	r1 := r0 + m.chunkRows
+	if r1 > st.rows {
+		r1 = st.rows
+	}
+	chunkDone := now
+	bytes := 0
+	for d := int64(0); d < n; d++ {
+		// Stored indices j on device d whose global row j*n+d falls in
+		// [r0, r1).
+		lo := ceilRows(r0-d, n)
+		hi := ceilRows(r1-d, n)
+		if hi <= lo {
+			continue
+		}
+		span := (hi - lo) * rb
+		buf := m.staging[:span]
+		off := st.smBase[d] + lo*rb
+		if m.promote {
+			done, err := s.rings[d].SubmitSync(now, buf, off, false)
+			if err != nil {
+				return bytes, chunkDone, fmt.Errorf("core: promote table %d: %w", m.table, err)
+			}
+			for j := lo; j < hi; j++ {
+				g := (j*n + d) * rb
+				copy(m.data[g:g+rb], buf[(j-lo)*rb:(j-lo+1)*rb])
+			}
+			if done > chunkDone {
+				chunkDone = done
+			}
+		} else {
+			for j := lo; j < hi; j++ {
+				g := (j*n + d) * rb
+				copy(buf[(j-lo)*rb:(j-lo+1)*rb], m.src[g:g+rb])
+			}
+			done, err := s.rings[d].SubmitSync(now, buf, off, true)
+			if err != nil {
+				return bytes, chunkDone, fmt.Errorf("core: demote table %d: %w", m.table, err)
+			}
+			if done > chunkDone {
+				chunkDone = done
+			}
+		}
+		bytes += int(span)
+	}
+	m.issuedBytes += int64(bytes)
+	if chunkDone > m.done {
+		m.done = chunkDone
+	}
+	m.next = r1
+	if r1 >= st.rows {
+		m.finished = true
+	}
+	return bytes, m.done, nil
+}
+
+// Commit finalizes the placement swap: promotions install the FM table
+// rebuilt from the bytes read back from SM, demotions drop the FM copy.
+// It must only be called after every chunk has been issued (Finished) and
+// the caller's virtual clock has passed Done — data would otherwise still
+// be "in flight" on the timeline.
+func (m *Migration) Commit() error {
+	if !m.finished {
+		return fmt.Errorf("core: commit of unfinished migration (table %d, %d/%d rows)", m.table, m.next, m.st.rows)
+	}
+	if m.committed {
+		return nil
+	}
+	st := m.st
+	if m.promote {
+		if st.cache != nil {
+			// Online updates live cache-first as dirty entries (§A.3), so
+			// for those rows the cache — not SM — holds the freshest copy.
+			// Fold them into the FM image; clearing the dirty flags is
+			// correct because the FM copy becomes the table's source of
+			// truth, and a later demotion rewrites SM wholesale.
+			rb := int64(st.rowBytes)
+			st.cache.FlushDirty(func(k cache.Key, v []byte) {
+				copy(m.data[k.Row*rb:k.Row*rb+rb], v)
+			})
+		}
+		tbl, err := embedding.FromBytes(st.storedSpec, m.data)
+		if err != nil {
+			return fmt.Errorf("core: promote table %d: %w", m.table, err)
+		}
+		st.fm = tbl
+		st.target = placement.FM
+		m.s.stats.MigratedSMToFMBytes += uint64(m.issuedBytes)
+	} else {
+		st.fm = nil
+		st.target = placement.SM
+		m.s.stats.MigratedFMToSMBytes += uint64(m.issuedBytes)
+	}
+	m.s.stats.Migrations++
+	m.committed = true
+	return nil
+}
+
+// Swappable reports whether table can be migrated at runtime.
+func (s *Store) Swappable(table int) bool {
+	return table >= 0 && table < len(s.tables) && s.tables[table].swappable
+}
+
+// TargetOf returns table's current placement target.
+func (s *Store) TargetOf(table int) placement.Target {
+	return s.tables[table].target
+}

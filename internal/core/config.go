@@ -99,6 +99,15 @@ type Config struct {
 	// Placement selects the §4.6 policy, DRAM budget and deny-list.
 	Placement placement.Config
 
+	// ReserveSM provisions every SM-eligible table for runtime placement
+	// swaps (the adapt subsystem): each candidate gets an SM stripe
+	// (written only if it starts SM-resident) and an FM cache shard, so a
+	// table can later migrate FM↔SM without reallocating device space or
+	// rebalancing cache budgets mid-run. Incompatible with the load-time
+	// transforms (Prune/Deprune/DequantAtLoad) — they would make the FM
+	// and SM row formats diverge — and with UseMmap.
+	ReserveSM bool
+
 	// Prune stores SM tables pruned, with mapper tensors in FM (§4.5).
 	Prune bool
 	// PruneEps is the |value| threshold under which rows are pruned.

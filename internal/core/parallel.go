@@ -114,6 +114,7 @@ func (s *Store) PoolOps(now simclock.Time, ops []workload.TableOp, outs [][][]fl
 			}
 		}
 		s.stats.addRuntime(c.stats)
+		c.st.runtime.addRuntime(c.stats)
 		s.stats.CPUTime += c.res.CPUTime
 		results[i] = c.res
 	}

@@ -74,6 +74,15 @@ type tableState struct {
 	target       placement.Target
 	cacheEnabled bool
 
+	// swappable marks tables provisioned for runtime FM↔SM migration
+	// (cfg.ReserveSM): an SM stripe is reserved and a cache shard exists
+	// whichever tier the table currently occupies.
+	swappable bool
+
+	// runtime accumulates this table's runtime counters. The query engine
+	// folds them in operator order, so they are parallelism-invariant.
+	runtime Stats
+
 	// fm is set for FM-direct tables.
 	fm *embedding.Table
 
@@ -120,6 +129,12 @@ type Stats struct {
 	LoadSMBytes    int64 // bytes written to SM at load
 	LoadDuration   time.Duration
 	DeprunedTables int
+
+	// Adaptive-tiering counters: committed runtime placement swaps and the
+	// migration bytes they moved through the devices.
+	Migrations          int
+	MigratedSMToFMBytes uint64
+	MigratedFMToSMBytes uint64
 }
 
 // Open loads a model into the SDM store: places tables per the plan,
@@ -131,6 +146,9 @@ func Open(inst *model.Instance, tables []*embedding.Table, cfg Config, clock *si
 	cfg = cfg.Defaulted()
 	if len(tables) != len(inst.Tables) {
 		return nil, fmt.Errorf("core: %d tables for %d specs", len(tables), len(inst.Tables))
+	}
+	if cfg.ReserveSM && (cfg.Prune || cfg.Deprune || cfg.DequantAtLoad || cfg.UseMmap) {
+		return nil, fmt.Errorf("core: ReserveSM requires identity load transforms and DIRECT_IO (no Prune/Deprune/DequantAtLoad/UseMmap)")
 	}
 	plan, err := placement.New(inst, cfg.Placement)
 	if err != nil {
@@ -153,6 +171,10 @@ func (s *Store) loadTables(tables []*embedding.Table) error {
 	type smLoad struct {
 		idx   int
 		table *embedding.Table
+		// reserveOnly stripes the table's SM space without writing it:
+		// the table starts FM-resident, the stripe exists so a runtime
+		// demotion (cfg.ReserveSM) has somewhere to write.
+		reserveOnly bool
 	}
 	var (
 		loads   []smLoad
@@ -168,8 +190,20 @@ func (s *Store) loadTables(tables []*embedding.Table) error {
 		if s.cfg.PerTableOutstanding > 0 {
 			st.throttle = &ioThrottle{cap: s.cfg.PerTableOutstanding}
 		}
+		if s.cfg.ReserveSM && s.cfg.Placement.EligibleSM(i, st.spec.Kind) {
+			st.swappable = true
+		}
 		if st.target == placement.FM {
 			st.fm = t
+			if st.swappable {
+				// Identity load transforms (enforced with ReserveSM), so
+				// the FM bytes are exactly what a demotion writes to SM.
+				st.storedSpec = t.Spec()
+				st.rowBytes = t.Spec().RowBytes()
+				st.rows = t.Spec().Rows
+				smBytes += t.Spec().SizeBytes()
+				loads = append(loads, smLoad{idx: i, table: t, reserveOnly: true})
+			}
 			s.tables[i] = st
 			continue
 		}
@@ -241,13 +275,18 @@ func (s *Store) loadTables(tables []*embedding.Table) error {
 			rowsPerDev[d] = (st.rows - d + n - 1) / n
 			st.smBase[d] = cursor[d]
 		}
-		// Bulk-write each device's stripe in 1 MiB chunks.
+		// Bulk-write each device's stripe in 1 MiB chunks (reserve-only
+		// stripes advance the cursor without touching the media).
 		data := ld.table.Bytes()
 		for d := int64(0); d < n; d++ {
 			devBytes := rowsPerDev[d] * rb
 			if cursor[d]+devBytes > s.devices[d].Capacity() {
 				return fmt.Errorf("core: device %d overflow loading table %d (need %d, cap %d)",
 					d, ld.idx, cursor[d]+devBytes, s.devices[d].Capacity())
+			}
+			if ld.reserveOnly {
+				cursor[d] += devBytes
+				continue
 			}
 			// Gather the stripe rows into a staging buffer.
 			stripe := make([]byte, devBytes)
@@ -299,12 +338,14 @@ func (s *Store) buildCaches() error {
 	}
 	s.stats.EffCacheBytes = eff
 
-	// Row-cache shards, budget ∝ stored SM bytes.
+	// Row-cache shards, budget ∝ stored SM bytes. Swappable tables get a
+	// shard whichever tier they start in, so a runtime demotion finds its
+	// cache already provisioned (and still warm from any earlier SM stint).
 	s.rowCache = cache.NewTableSharded()
 	var cached []*tableState
 	var totalBytes int64
 	for _, st := range s.tables {
-		if st.target != placement.SM || !st.cacheEnabled {
+		if !st.cacheEnabled || (st.target != placement.SM && !st.swappable) {
 			continue
 		}
 		cached = append(cached, st)
@@ -337,7 +378,7 @@ func (s *Store) buildCaches() error {
 	if s.cfg.PooledCacheBytes > 0 {
 		var smTables []*tableState
 		for _, st := range s.tables {
-			if st.target == placement.SM {
+			if st.target == placement.SM || st.swappable {
 				smTables = append(smTables, st)
 			}
 		}
@@ -457,6 +498,14 @@ func (s *Store) ResetRuntimeStats() {
 	s.stats = Stats{
 		MapperFMBytes: mapperFM, EffCacheBytes: eff,
 		LoadSMBytes: loadB, LoadDuration: loadD, DeprunedTables: dep,
+		Migrations:          s.stats.Migrations,
+		MigratedSMToFMBytes: s.stats.MigratedSMToFMBytes,
+		MigratedFMToSMBytes: s.stats.MigratedFMToSMBytes,
+	}
+	// Per-table runtime counters reset with the aggregates they sum to,
+	// keeping TableStats coherent with Stats across the reset.
+	for _, st := range s.tables {
+		st.runtime = Stats{}
 	}
 	for _, d := range s.devices {
 		d.ResetStats()

@@ -42,6 +42,12 @@ func (s *Store) UpdateRow(now simclock.Time, table int, row int64, value []byte,
 			return now, fmt.Errorf("core: update row size %d, want %d", len(value), len(dst))
 		}
 		copy(dst, value)
+		if st.cache != nil {
+			// A swappable table keeps its (possibly still warm) SM-stint
+			// cache shard coherent with the FM copy, so a later demotion
+			// cannot resurface a stale cached row.
+			st.cache.Put(cache.Key{Table: int32(st.spec.ID), Row: row}, value)
+		}
 		return now, nil
 	}
 	if st.mapper != nil {

@@ -123,6 +123,21 @@ func FillSyntheticRow(dst []float32, seed uint64, tableID int, r int64, zeroFrac
 	}
 }
 
+// FromBytes wraps raw stored rows (quantized, back to back) as a Table.
+// data must be exactly spec.SizeBytes() long; the table takes ownership.
+// It is how the migration engine rebuilds an FM-resident table from the
+// bytes it read back from SM.
+func FromBytes(spec Spec, data []byte) (*Table, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if int64(len(data)) != spec.SizeBytes() {
+		return nil, fmt.Errorf("embedding: table %d: %d data bytes for %d-byte spec",
+			spec.ID, len(data), spec.SizeBytes())
+	}
+	return &Table{spec: spec, data: data}, nil
+}
+
 // Spec returns the table spec.
 func (t *Table) Spec() Spec { return t.spec }
 

@@ -33,7 +33,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the evaluation must have a runner.
 	want := []string{
 		"fig1", "tab1", "fig3", "tab2", "fig4", "fig5", "fig6",
-		"tab3", "tab4", "tab8", "tab9", "tab10", "tab11", "cluster",
+		"tab3", "tab4", "tab8", "tab9", "tab10", "tab11", "cluster", "drift",
 		"sgl", "mmap", "deprune", "dequant", "interop", "polling", "warmup", "update",
 	}
 	got := IDs()
@@ -188,6 +188,51 @@ func TestCluster(t *testing.T) {
 	}
 	if res.ClusterHosts <= 0 || res.SingleExtrapolationHosts <= 0 {
 		t.Fatalf("provisioning paths: cluster=%d single=%d", res.ClusterHosts, res.SingleExtrapolationHosts)
+	}
+}
+
+func TestDrift(t *testing.T) {
+	// The adaptive-tiering acceptance drill, asserted deterministically
+	// for the fixed test seed.
+	res := runExp(t, "drift").(*DriftResult)
+
+	// The rotation must produce a real FM-served drop on both hosts.
+	if drop := res.AdaptPre - res.AdaptPost; drop < 0.2 {
+		t.Fatalf("rotation barely moved the adaptive FM rate: pre=%.3f post=%.3f", res.AdaptPre, res.AdaptPost)
+	}
+	if drop := res.StaticPre - res.StaticPost; drop < 0.2 {
+		t.Fatalf("rotation barely moved the static FM rate: pre=%.3f post=%.3f", res.StaticPre, res.StaticPost)
+	}
+
+	// Adaptive placement recovers at least half of the drop within the
+	// run; static does not.
+	if res.AdaptRecovery < 0.5 {
+		t.Fatalf("adaptive recovery %.2f < 0.5 (pre=%.3f post=%.3f final=%.3f)",
+			res.AdaptRecovery, res.AdaptPre, res.AdaptPost, res.AdaptFinal)
+	}
+	if res.StaticRecovery >= 0.5 {
+		t.Fatalf("static placement should stay degraded, recovered %.2f", res.StaticRecovery)
+	}
+	if res.AdaptFinal < res.StaticFinal+0.3 {
+		t.Fatalf("adaptive final FM rate %.3f not clearly above static %.3f", res.AdaptFinal, res.StaticFinal)
+	}
+
+	// The recovery must come from actual bandwidth-accounted migrations.
+	if res.Promotions == 0 || res.Demotions == 0 || res.MigratedBytes == 0 {
+		t.Fatalf("no migrations recorded: %d promotions, %d demotions, %d bytes",
+			res.Promotions, res.Demotions, res.MigratedBytes)
+	}
+
+	// The bandwidth cap measurably bounds the foreground tail penalty
+	// during migration: unpaced migration dumps the table onto the
+	// devices and the worst foreground query pays for it.
+	if res.CappedPeakLat*2 >= res.UnpacedPeakLat {
+		t.Fatalf("cap did not bound the migration burst: capped peak %.2fms vs unpaced %.2fms",
+			res.CappedPeakLat*1e3, res.UnpacedPeakLat*1e3)
+	}
+	if res.CappedPeakP99 > res.UnpacedPeakP99 {
+		t.Fatalf("capped post-rotation p99 %.2fms above unpaced %.2fms",
+			res.CappedPeakP99*1e3, res.UnpacedPeakP99*1e3)
 	}
 }
 

@@ -114,6 +114,22 @@ func (p *Plan) SMTables() []int {
 	return out
 }
 
+// EligibleSM reports whether table idx (of the given kind) is an SM
+// candidate under c's rules: not deny-listed and not excluded by
+// UserTablesOnly. The adapt subsystem uses the same predicate to decide
+// which tables may be swapped between FM and SM at runtime.
+func (c Config) EligibleSM(idx int, kind embedding.Kind) bool {
+	if c.UserTablesOnly && kind == embedding.Item {
+		return false
+	}
+	for _, t := range c.DenySM {
+		if t == idx {
+			return false
+		}
+	}
+	return true
+}
+
 // New computes a placement plan for inst.
 func New(inst *model.Instance, cfg Config) (*Plan, error) {
 	if cfg.Policy == 0 {
@@ -122,12 +138,10 @@ func New(inst *model.Instance, cfg Config) (*Plan, error) {
 	if cfg.MinCacheAlpha == 0 {
 		cfg.MinCacheAlpha = 0.6
 	}
-	deny := make(map[int]bool, len(cfg.DenySM))
 	for _, t := range cfg.DenySM {
 		if t < 0 || t >= len(inst.Tables) {
 			return nil, fmt.Errorf("placement: deny-list table %d out of range (%d tables)", t, len(inst.Tables))
 		}
-		deny[t] = true
 	}
 
 	plan := &Plan{Decisions: make([]Decision, len(inst.Tables))}
@@ -137,7 +151,7 @@ func New(inst *model.Instance, cfg Config) (*Plan, error) {
 	budget := cfg.DRAMBudget
 	for i, s := range inst.Tables {
 		d := Decision{Table: i, Target: SM, CacheEnabled: true}
-		if deny[i] || (cfg.UserTablesOnly && s.Kind == embedding.Item) {
+		if !cfg.EligibleSM(i, s.Kind) {
 			d.Target = FM
 		}
 		plan.Decisions[i] = d

@@ -152,6 +152,77 @@ func TestSMTablesList(t *testing.T) {
 	}
 }
 
+func TestZeroDRAMBudget(t *testing.T) {
+	// FixedFM with no budget degenerates to SM-only: nothing promotes,
+	// nothing breaks.
+	in := testInstance(t)
+	p, err := New(in, Config{Policy: FixedFMWithCache, UserTablesOnly: true, DRAMBudget: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range in.Tables {
+		if s.Kind == embedding.User && p.Target(i) != SM {
+			t.Fatalf("user table %d promoted with zero budget", i)
+		}
+	}
+	if len(p.SMTables()) != 8 {
+		t.Fatalf("zero budget should leave all 8 user tables on SM, got %d", len(p.SMTables()))
+	}
+}
+
+func TestDenyListCoversEveryTable(t *testing.T) {
+	in := testInstance(t)
+	deny := make([]int, len(in.Tables))
+	for i := range deny {
+		deny[i] = i
+	}
+	p, err := New(in, Config{Policy: SMOnlyWithCache, DenySM: deny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.SMTables(); len(got) != 0 {
+		t.Fatalf("fully denied plan still placed tables on SM: %v", got)
+	}
+	if p.SMBytes != 0 {
+		t.Fatalf("fully denied plan reports %d SM bytes", p.SMBytes)
+	}
+	var total int64
+	for _, s := range in.Tables {
+		total += s.SizeBytes()
+	}
+	if p.FMDirectBytes != total {
+		t.Fatalf("FM bytes %d, want the whole model %d", p.FMDirectBytes, total)
+	}
+	for i, s := range in.Tables {
+		if (Config{DenySM: deny}).EligibleSM(i, s.Kind) {
+			t.Fatalf("denied table %d reported eligible", i)
+		}
+	}
+}
+
+func TestBudgetSmallerThanSmallestTable(t *testing.T) {
+	in := testInstance(t)
+	smallest := in.Tables[0].SizeBytes()
+	for _, s := range in.Tables {
+		if s.SizeBytes() < smallest {
+			smallest = s.SizeBytes()
+		}
+	}
+	p, err := New(in, Config{Policy: FixedFMWithCache, UserTablesOnly: true, DRAMBudget: smallest - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var promoted int64
+	for i, s := range in.Tables {
+		if s.Kind == embedding.User && p.Target(i) == FM {
+			promoted += s.SizeBytes()
+		}
+	}
+	if promoted != 0 {
+		t.Fatalf("budget below the smallest table still promoted %d bytes", promoted)
+	}
+}
+
 func TestPolicyStrings(t *testing.T) {
 	for _, p := range []Policy{SMOnlyWithCache, FixedFMWithCache, PerTableCache} {
 		if p.String() == "" {

@@ -121,6 +121,10 @@ type Host struct {
 
 	topMLP *mlp.Network
 
+	// tuner, when set, observes every admission (telemetry sampling,
+	// runtime placement swaps, paced migration IO).
+	tuner Tuner
+
 	// horizon is the furthest completion booked on any resource; new runs
 	// start after it so back-to-back measurements do not queue behind
 	// stale bookings.
@@ -165,6 +169,26 @@ func NewHost(inst *model.Instance, store *core.Store, flat []*embedding.Table, g
 		outBufs: make(map[int][][]float32),
 	}, nil
 }
+
+// Tuner is a control loop attached to a host's admission stream: it runs
+// background work on the host's virtual timeline, interleaved with
+// queries in admission order (which is what keeps adaptive runs
+// deterministic at any worker count). The adapt subsystem's Adapter is
+// the canonical implementation.
+type Tuner interface {
+	// BeforeAdmit runs before a query executes, at its arrival time.
+	// Placement swaps committed here are visible to that query.
+	BeforeAdmit(now simclock.Time)
+	// AfterAdmit runs after the query completes on the virtual timeline.
+	AfterAdmit(arrive, done simclock.Time)
+}
+
+// SetTuner installs (or, with nil, removes) the host's admission tuner.
+func (h *Host) SetTuner(t Tuner) { h.tuner = t }
+
+// Store exposes the host's SDM store (nil for flat/remote baselines) so
+// control planes like the adapt subsystem can attach to it.
+func (h *Host) Store() *core.Store { return h.store }
 
 // Result summarizes a host run.
 type Result struct {
@@ -391,9 +415,15 @@ func (h *Host) Ready() simclock.Time {
 // arrive in non-decreasing time order; a host built only for Admit may be
 // constructed with a nil generator.
 func (h *Host) Admit(t simclock.Time, q workload.Query) (simclock.Time, error) {
+	if h.tuner != nil {
+		h.tuner.BeforeAdmit(t)
+	}
 	done, err := h.execQuery(t, q)
 	if err != nil {
 		return 0, err
+	}
+	if h.tuner != nil {
+		h.tuner.AfterAdmit(t, done)
 	}
 	if done > h.horizon {
 		h.horizon = done
@@ -443,30 +473,39 @@ type CacheSnapshot struct {
 	PooledHits   uint64
 	PooledMisses uint64
 	SMReads      uint64
-	CPUBooked    time.Duration
+	// Lookups counts store row lookups and FMDirectReads the subset served
+	// by FM-direct tables, so deltas can attribute lookups to tiers even
+	// as adaptive placement moves tables between them.
+	Lookups       uint64
+	FMDirectReads uint64
+	CPUBooked     time.Duration
 }
 
 // Sub returns the counter deltas s − o.
 func (s CacheSnapshot) Sub(o CacheSnapshot) CacheSnapshot {
 	return CacheSnapshot{
-		CacheHits:    s.CacheHits - o.CacheHits,
-		CacheMisses:  s.CacheMisses - o.CacheMisses,
-		PooledHits:   s.PooledHits - o.PooledHits,
-		PooledMisses: s.PooledMisses - o.PooledMisses,
-		SMReads:      s.SMReads - o.SMReads,
-		CPUBooked:    s.CPUBooked - o.CPUBooked,
+		CacheHits:     s.CacheHits - o.CacheHits,
+		CacheMisses:   s.CacheMisses - o.CacheMisses,
+		PooledHits:    s.PooledHits - o.PooledHits,
+		PooledMisses:  s.PooledMisses - o.PooledMisses,
+		SMReads:       s.SMReads - o.SMReads,
+		Lookups:       s.Lookups - o.Lookups,
+		FMDirectReads: s.FMDirectReads - o.FMDirectReads,
+		CPUBooked:     s.CPUBooked - o.CPUBooked,
 	}
 }
 
 // Add returns the field-wise sum of s and o.
 func (s CacheSnapshot) Add(o CacheSnapshot) CacheSnapshot {
 	return CacheSnapshot{
-		CacheHits:    s.CacheHits + o.CacheHits,
-		CacheMisses:  s.CacheMisses + o.CacheMisses,
-		PooledHits:   s.PooledHits + o.PooledHits,
-		PooledMisses: s.PooledMisses + o.PooledMisses,
-		SMReads:      s.SMReads + o.SMReads,
-		CPUBooked:    s.CPUBooked + o.CPUBooked,
+		CacheHits:     s.CacheHits + o.CacheHits,
+		CacheMisses:   s.CacheMisses + o.CacheMisses,
+		PooledHits:    s.PooledHits + o.PooledHits,
+		PooledMisses:  s.PooledMisses + o.PooledMisses,
+		SMReads:       s.SMReads + o.SMReads,
+		Lookups:       s.Lookups + o.Lookups,
+		FMDirectReads: s.FMDirectReads + o.FMDirectReads,
+		CPUBooked:     s.CPUBooked + o.CPUBooked,
 	}
 }
 
@@ -477,6 +516,17 @@ func (s CacheSnapshot) HitRate() float64 {
 		return 0
 	}
 	return float64(s.CacheHits) / float64(total)
+}
+
+// FMServedRate returns the fraction of store row lookups served from fast
+// memory — cache hits plus FM-direct reads — rather than SM devices. It
+// is the tier-agnostic "hit rate" of adaptive placement: promoting a hot
+// table to FM raises it even though those lookups stop being cache hits.
+func (s CacheSnapshot) FMServedRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return 1 - float64(s.SMReads)/float64(s.Lookups)
 }
 
 // Snapshot captures the host's cumulative cache and IO counters. Hosts
@@ -490,6 +540,8 @@ func (h *Host) Snapshot() CacheSnapshot {
 		s.CacheHits, s.CacheMisses = cs.Hits, cs.Misses
 		s.PooledHits, s.PooledMisses = ps.Hits, ps.Misses
 		s.SMReads = st.SMReads
+		s.Lookups = st.Lookups
+		s.FMDirectReads = st.FMDirectReads
 	}
 	return s
 }
@@ -516,9 +568,15 @@ func (h *Host) RunOpenLoop(qps float64, n int) (Result, error) {
 	for i := 0; i < n; i++ {
 		t += simclock.Time(h.rng.Exp(1 / qps * float64(time.Second)))
 		q := h.gen.Next()
+		if h.tuner != nil {
+			h.tuner.BeforeAdmit(t)
+		}
 		done, err := h.execQuery(t, q)
 		if err != nil {
 			return Result{}, err
+		}
+		if h.tuner != nil {
+			h.tuner.AfterAdmit(t, done)
 		}
 		lat.Observe((done - t).Seconds())
 		if done > last {

@@ -138,6 +138,35 @@ func (h *Histogram) P95() float64 { return h.Quantile(0.95) }
 // P99 returns the 99th percentile.
 func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
 
+// P999 returns the 99.9th percentile — the deep-tail metric migration
+// interference shows up in first.
+func (h *Histogram) P999() float64 { return h.Quantile(0.999) }
+
+// Merge folds o's observations into h. Both histograms share the same
+// bucket layout (growth and base are fixed at construction), so merging
+// is bucket-wise addition and the result is identical to having observed
+// every value directly — the cheap way to aggregate per-host latency
+// into a fleet histogram.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.counts == 0 {
+		return
+	}
+	for len(h.buckets) < len(o.buckets) {
+		h.buckets = append(h.buckets, 0)
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.counts += o.counts
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Reset clears all observations.
 func (h *Histogram) Reset() {
 	h.buckets = h.buckets[:1]

@@ -154,3 +154,64 @@ func TestRatio(t *testing.T) {
 		t.Fatal("6/3 != 2")
 	}
 }
+
+func TestHistogramMergeEqualsDirectObservation(t *testing.T) {
+	// Merging split histograms must be indistinguishable from observing
+	// every value in one — counts, sum, extremes and every quantile.
+	direct, a, b := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 0; i < 5000; i++ {
+		v := 1e-6 * float64(i%977+1) * float64(i%13+1)
+		direct.Observe(v)
+		if i%3 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != direct.Count() {
+		t.Fatalf("count %d vs %d", a.Count(), direct.Count())
+	}
+	// Summation order differs between split and direct accumulation, so
+	// the mean is equal only to floating-point reassociation error.
+	if d := math.Abs(a.Mean()-direct.Mean()) / direct.Mean(); d > 1e-12 {
+		t.Fatalf("mean diverged beyond reassociation error: %g vs %g", a.Mean(), direct.Mean())
+	}
+	if a.Min() != direct.Min() || a.Max() != direct.Max() {
+		t.Fatalf("extremes diverged: min %g/%g max %g/%g", a.Min(), direct.Min(), a.Max(), direct.Max())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.95, 0.99, 0.999, 1} {
+		if a.Quantile(q) != direct.Quantile(q) {
+			t.Fatalf("q%g diverged: %g vs %g", q, a.Quantile(q), direct.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0.5)
+	h.Merge(nil)            // no-op
+	h.Merge(NewHistogram()) // empty no-op
+	if h.Count() != 1 || h.Max() != 0.5 {
+		t.Fatalf("no-op merges changed the histogram: %s", h)
+	}
+	empty := NewHistogram()
+	empty.Merge(h) // into empty
+	if empty.Count() != 1 || empty.Min() != 0.5 || empty.Max() != 0.5 {
+		t.Fatalf("merge into empty lost data: %s", empty)
+	}
+}
+
+func TestP999Ordering(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 10000; i++ {
+		h.Observe(float64(i) * 1e-6)
+	}
+	if !(h.P50() <= h.P95() && h.P95() <= h.P99() && h.P99() <= h.P999() && h.P999() <= h.Max()) {
+		t.Fatalf("quantile ordering violated: p50=%g p95=%g p99=%g p999=%g max=%g",
+			h.P50(), h.P95(), h.P99(), h.P999(), h.Max())
+	}
+	if h.P999() <= h.P95() {
+		t.Fatalf("p999 %g should exceed p95 %g on a uniform ramp", h.P999(), h.P95())
+	}
+}

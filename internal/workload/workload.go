@@ -77,7 +77,10 @@ type Config struct {
 	// bijective permutation (low spatial locality, as measured in
 	// Fig. 5); true keeps hot ranks contiguous (high spatial locality).
 	Spatial bool
-	Seed    uint64
+	// Drift makes the stream non-stationary (hot-set rotation, diurnal
+	// user-mix shift, flash crowds). The zero value is fully stationary.
+	Drift DriftConfig
+	Seed  uint64
 }
 
 // Generator produces queries for a model instance.
@@ -89,6 +92,14 @@ type Generator struct {
 	perms []*xrand.Permuter // per table
 	userZ *xrand.Zipf
 	itemZ *xrand.Zipf
+
+	// Drift state: generated-query count, forced rotations, and the
+	// current phase's rank→user bijection (lazily rebuilt per phase).
+	queries      int
+	forcedPhases int
+	userMap      *xrand.Permuter
+	userMapPhase int
+	userAlpha    float64 // skew the current userZ was built with
 }
 
 // NewGenerator builds a generator over inst.
@@ -105,6 +116,11 @@ func NewGenerator(inst *model.Instance, cfg Config) (*Generator, error) {
 	if cfg.ItemAlpha == 0 {
 		cfg.ItemAlpha = 1.1
 	}
+	drift, err := cfg.Drift.validate()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Drift = drift
 	g := &Generator{
 		inst:  inst,
 		cfg:   cfg,
@@ -114,6 +130,7 @@ func NewGenerator(inst *model.Instance, cfg Config) (*Generator, error) {
 		userZ: xrand.NewZipf(cfg.NumUsers, cfg.UserAlpha),
 		itemZ: xrand.NewZipf(cfg.NumItems, cfg.ItemAlpha),
 	}
+	g.userAlpha = cfg.UserAlpha
 	for i, s := range inst.Tables {
 		g.zipfs[i] = xrand.NewZipf(s.Rows, s.Alpha)
 		g.perms[i] = xrand.NewPermuter(s.Rows, cfg.Seed^uint64(s.ID)<<17)
@@ -147,11 +164,12 @@ func (g *Generator) poolLen(rng *xrand.RNG, pf float64) int {
 }
 
 // baseSequence returns entity e's deterministic index sequence for table t,
-// optionally churned by one resampled index.
-func (g *Generator) baseSequence(table int, entity int64, churn bool) []int64 {
+// optionally churned by one resampled index. boost scales the table's
+// pooling factor (1 outside drift phases).
+func (g *Generator) baseSequence(table int, entity int64, churn bool, boost float64) []int64 {
 	s := g.inst.Tables[table]
 	rng := xrand.New(g.cfg.Seed ^ uint64(entity)*0x9e3779b97f4a7c15 ^ uint64(s.ID)<<40)
-	n := g.poolLen(rng, s.PoolingFactor)
+	n := g.poolLen(rng, s.PoolingFactor*boost)
 	seq := make([]int64, n)
 	for i := range seq {
 		seq[i] = g.perms[table].Map(g.zipfs[table].Rank(rng))
@@ -164,7 +182,11 @@ func (g *Generator) baseSequence(table int, entity int64, churn bool) []int64 {
 
 // Next generates one query.
 func (g *Generator) Next() Query {
-	user := g.userZ.Rank(g.rng)
+	if a := g.diurnalAlpha(); a != g.userAlpha {
+		g.userZ = xrand.NewZipf(g.cfg.NumUsers, a)
+		g.userAlpha = a
+	}
+	user := g.driftUser(g.userZ.Rank(g.rng))
 	q := Query{UserID: user}
 	nUser := g.inst.Config.NumUserTables
 	userBatch := 1
@@ -177,6 +199,7 @@ func (g *Generator) Next() Query {
 		if isUser {
 			batch = userBatch
 		}
+		boost := g.tableBoost(t)
 		op := TableOp{Table: t, Pools: make([][]int64, 0, batch)}
 		for b := 0; b < batch; b++ {
 			var entity int64
@@ -184,16 +207,17 @@ func (g *Generator) Next() Query {
 				entity = user
 				if g.cfg.EvalMode && b > 0 {
 					// Eval batches different users.
-					entity = g.userZ.Rank(g.rng)
+					entity = g.driftUser(g.userZ.Rank(g.rng))
 				}
 			} else {
 				entity = g.itemZ.Rank(g.rng)
 			}
 			churn := g.cfg.SeqChurn > 0 && g.rng.Float64() < g.cfg.SeqChurn
-			op.Pools = append(op.Pools, g.baseSequence(t, entity, churn))
+			op.Pools = append(op.Pools, g.baseSequence(t, entity, churn, boost))
 		}
 		q.Ops = append(q.Ops, op)
 	}
+	g.queries++
 	return q
 }
 

@@ -47,6 +47,7 @@
 package sdm
 
 import (
+	"sdm/internal/adapt"
 	"sdm/internal/blockdev"
 	"sdm/internal/cluster"
 	"sdm/internal/core"
@@ -138,6 +139,39 @@ type (
 	Router = cluster.Router
 	// CacheSnapshot is a point-in-time view of a host's cache counters.
 	CacheSnapshot = serving.CacheSnapshot
+)
+
+// Adaptive-tiering types: the online control loop that re-evaluates the
+// §4.6/Table-5 placement against live telemetry and migrates tables FM↔SM
+// under a bandwidth cap. Stores must be opened with Config.ReserveSM;
+// workloads drift via WorkloadConfig.Drift; fleets rotate their hot set
+// mid-run with Fleet.ScheduleDrift.
+type (
+	// AdaptConfig tunes an Adapter (interval, DRAM budget, bandwidth cap).
+	AdaptConfig = adapt.Config
+	// Adapter is the per-host adaptive-tiering control loop.
+	Adapter = adapt.Adapter
+	// AdaptStats counts evaluations, migrations and migrated bytes.
+	AdaptStats = adapt.Stats
+	// TableTelemetry is one table's decayed live-traffic view.
+	TableTelemetry = adapt.TableTelemetry
+	// TableStat is one table's raw runtime counters from the store.
+	TableStat = core.TableStat
+	// DriftConfig makes a workload non-stationary (hot-set rotation,
+	// diurnal user-mix shift, flash crowds).
+	DriftConfig = workload.DriftConfig
+	// Tuner is the host-side hook adapters install through.
+	Tuner = serving.Tuner
+)
+
+// Adaptive-tiering constructors.
+var (
+	// NewAdapter builds the control loop over a ReserveSM store.
+	NewAdapter = adapt.New
+	// AttachAdaptive installs one Adapter per SDM-backed fleet host.
+	AttachAdaptive = cluster.AttachAdaptive
+	// AdapterStats sums per-host adapter counters.
+	AdapterStats = cluster.AdapterStats
 )
 
 // Cluster constructors.
