@@ -3,7 +3,7 @@
 GO ?= go
 REV ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet fmt-check test race bench bench-json ci
+.PHONY: all build vet fmt-check test race bench bench-json bench-diff ci
 
 all: build test
 
@@ -33,5 +33,20 @@ bench:
 # benchmark-trajectory artifact CI uploads (BENCH_<rev>.json per PR).
 bench-json:
 	$(GO) run ./cmd/sdmbench -json all > BENCH_$(REV).json
+
+# The committed baseline the current tree is diffed against (tracked
+# files only, so locally generated BENCH_<rev>.json outputs never shadow
+# it; override with BENCH_BASELINE=...). Repo policy: exactly one
+# baseline is committed at a time — replace it to re-baseline.
+BENCH_BASELINE ?= $(shell git ls-files 'BENCH_*.json' 2>/dev/null)
+
+# Re-run every experiment and print per-benchmark deltas against the
+# committed baseline. Warn-only by default; add BENCH_DIFF_FLAGS=-fail-on-change
+# to gate on drift locally.
+bench-diff:
+	@set -- $(BENCH_BASELINE); test $$# -eq 1 || { \
+		echo "expected exactly one committed BENCH_*.json baseline, got: '$(BENCH_BASELINE)'" >&2; exit 1; }
+	$(GO) run ./cmd/sdmbench -json all > bench-current.json
+	$(GO) run ./cmd/benchdiff $(BENCH_DIFF_FLAGS) $(BENCH_BASELINE) bench-current.json
 
 ci: build vet fmt-check test race bench

@@ -1,0 +1,187 @@
+// Command benchdiff compares two benchmark-trajectory artifacts (the
+// BENCH_<rev>.json files `make bench-json` emits — JSON arrays of
+// {id, title, header, rows, notes} experiment reports) and prints
+// per-benchmark deltas, so consecutive revisions finally get diffed
+// instead of accumulating as unread CI artifacts.
+//
+// Usage:
+//
+//	benchdiff [-tol pct] [-fail-on-change] baseline.json current.json
+//
+// Rows are matched positionally within each experiment. When a row's
+// non-numeric skeleton is unchanged, every embedded number is compared and
+// the worst relative delta reported; rows whose shape changed (or that
+// were added/removed) are shown verbatim. The default exit status is 0
+// regardless of drift — CI runs it warn-only — while -fail-on-change turns
+// any delta beyond -tol into exit 1 for local bisecting.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"sdm/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		tol    = fs.Float64("tol", 2.0, "relative delta (in %) below which a number counts as unchanged")
+		strict = fs.Bool("fail-on-change", false, "exit non-zero when any benchmark drifted beyond -tol")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tol < 0 {
+		return fmt.Errorf("-tol must be >= 0, got %g", *tol)
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("want exactly two files (baseline, current), got %d", fs.NArg())
+	}
+	base, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	baseByID := make(map[string]experiments.Report, len(base))
+	for _, r := range base {
+		baseByID[r.ID] = r
+	}
+	changed, unchanged, added := 0, 0, 0
+	for _, c := range cur {
+		b, ok := baseByID[c.ID]
+		if !ok {
+			added++
+			fmt.Printf("== %-10s new benchmark (%d rows)\n", c.ID, len(c.Rows))
+			continue
+		}
+		delete(baseByID, c.ID)
+		if d := diffReport(b, c, *tol); d > 0 {
+			changed++
+		} else {
+			unchanged++
+		}
+	}
+	removed := make([]string, 0, len(baseByID))
+	for id := range baseByID {
+		removed = append(removed, id)
+	}
+	sort.Strings(removed)
+	for _, id := range removed {
+		fmt.Printf("== %-10s removed from current run\n", id)
+	}
+	fmt.Printf("\n%d changed, %d unchanged, %d added, %d removed (tolerance %.1f%%)\n",
+		changed, unchanged, added, len(baseByID), *tol)
+	if *strict && (changed > 0 || added > 0 || len(baseByID) > 0) {
+		return fmt.Errorf("benchmarks drifted beyond %.1f%%", *tol)
+	}
+	return nil
+}
+
+func load(path string) ([]experiments.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var reps []experiments.Report
+	if err := json.Unmarshal(data, &reps); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return reps, nil
+}
+
+// numRE matches the numbers embedded in a rendered experiment row.
+var numRE = regexp.MustCompile(`-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?`)
+
+// diffReport prints one experiment's drifted rows and returns how many
+// rows moved beyond the tolerance.
+func diffReport(b, c experiments.Report, tolPct float64) int {
+	n := len(b.Rows)
+	if len(c.Rows) > n {
+		n = len(c.Rows)
+	}
+	drifted := 0
+	var lines []string
+	for i := 0; i < n; i++ {
+		switch {
+		case i >= len(b.Rows):
+			drifted++
+			lines = append(lines, fmt.Sprintf("  + %s", c.Rows[i]))
+		case i >= len(c.Rows):
+			drifted++
+			lines = append(lines, fmt.Sprintf("  - %s", b.Rows[i]))
+		default:
+			worst, ok := rowDelta(b.Rows[i], c.Rows[i])
+			if !ok {
+				if b.Rows[i] != c.Rows[i] {
+					drifted++
+					lines = append(lines, fmt.Sprintf("  ~ %s\n    → %s (shape changed)", b.Rows[i], c.Rows[i]))
+				}
+				continue
+			}
+			if worst > tolPct {
+				drifted++
+				lines = append(lines, fmt.Sprintf("  ~ %s\n    → %s (worst Δ %.1f%%)", b.Rows[i], c.Rows[i], worst))
+			}
+		}
+	}
+	if drifted > 0 {
+		fmt.Printf("== %-10s %d/%d rows drifted\n", c.ID, drifted, n)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+	return drifted
+}
+
+// rowDelta compares the numbers of two rows with an identical non-numeric
+// skeleton and returns the worst relative delta in percent. ok is false
+// when the skeletons differ (the rows are not number-comparable).
+func rowDelta(b, c string) (worst float64, ok bool) {
+	if numRE.ReplaceAllString(b, "#") != numRE.ReplaceAllString(c, "#") {
+		return 0, false
+	}
+	bn := numRE.FindAllString(b, -1)
+	cn := numRE.FindAllString(c, -1)
+	if len(bn) != len(cn) {
+		return 0, false
+	}
+	for i := range bn {
+		x, errX := strconv.ParseFloat(bn[i], 64)
+		y, errY := strconv.ParseFloat(cn[i], 64)
+		if errX != nil || errY != nil {
+			continue
+		}
+		var d float64
+		switch {
+		case x == y:
+			continue
+		case x == 0:
+			d = math.Inf(1)
+		default:
+			d = 100 * math.Abs(y-x) / math.Abs(x)
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, true
+}

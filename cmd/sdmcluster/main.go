@@ -68,9 +68,28 @@ func run(args []string) error {
 		adaptOn  = fs.Bool("adapt", false, "attach the adaptive-tiering control loop to every host")
 		hotTabs  = fs.Int("hottables", 0, "spotlight user tables per drift phase (0 = stationary traffic)")
 		migBW    = fs.Float64("migbw", 16<<20, "adaptive migration bandwidth cap in bytes/s (0 = unpaced)")
+		grain    = fs.String("grain", "table", "adaptive migration granularity: table (whole tables) or range (hot row ranges)")
+		hyst     = fs.Float64("hysteresis", 0, "incumbent advantage before a swap is scheduled (>= 1; 0 = default 1.3)")
+		smooth   = fs.Float64("smoothing", 0, "telemetry EWMA weight of the newest window in [0, 1] (0 = default 0.5)")
+		payback  = fs.Float64("payback", 0, "range-mode payback horizon in seconds (0 = default 10)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	granularity := adapt.Tables
+	switch *grain {
+	case "table":
+	case "range":
+		granularity = adapt.Ranges
+	default:
+		return fmt.Errorf("-grain must be table or range, got %q", *grain)
+	}
+	acfg := adapt.Config{
+		BandwidthBytesPerSec: *migBW,
+		Hysteresis:           *hyst,
+		Smoothing:            *smooth,
+		Granularity:          granularity,
+		PaybackSeconds:       *payback,
 	}
 	switch {
 	case *hosts <= 0:
@@ -93,8 +112,12 @@ func run(args []string) error {
 		return fmt.Errorf("-drift must be in [0, 1], got %g", *drift)
 	case *hotTabs < 0:
 		return fmt.Errorf("-hottables must be >= 0, got %d", *hotTabs)
-	case *migBW < 0:
-		return fmt.Errorf("-migbw must be >= 0, got %g", *migBW)
+	}
+	// The adapt subsystem owns the contract for its own knobs (-migbw,
+	// -hysteresis, -smoothing, -payback): surface its validation errors at
+	// flag time instead of after model build.
+	if err := acfg.Validate(); err != nil {
+		return err
 	}
 
 	policies, err := pickPolicies(*policy, *hosts)
@@ -150,7 +173,7 @@ func run(args []string) error {
 		}
 		var adapters []*adapt.Adapter
 		if *adaptOn {
-			adapters, err = cluster.AttachAdaptive(hs, adapt.Config{BandwidthBytesPerSec: *migBW})
+			adapters, err = cluster.AttachAdaptive(hs, acfg)
 			if err != nil {
 				return err
 			}
@@ -192,6 +215,8 @@ func run(args []string) error {
 				rep["adapter"] = map[string]any{
 					"evals": as.Evals, "promotions": as.Promotions,
 					"demotions": as.Demotions, "migrated_bytes": as.MigratedBytes,
+					"range_moves": as.RangeMoves, "aborts": as.Aborts,
+					"granularity": granularity.String(),
 				}
 			}
 			reports = append(reports, rep)
@@ -240,7 +265,8 @@ func jsonReport(r *cluster.Result) map[string]any {
 	out := map[string]any{
 		"policy": r.Policy, "offered_qps": r.OfferedQPS, "achieved_qps": r.AchievedQPS,
 		"queries": r.Queries, "hit_rate": r.HitRate, "fm_served_rate": r.FMServedRate,
-		"p50_ms": r.Latency.P50() * 1e3, "p95_ms": r.Latency.P95() * 1e3,
+		"range_served_rate": r.RangeServedRate,
+		"p50_ms":            r.Latency.P50() * 1e3, "p95_ms": r.Latency.P95() * 1e3,
 		"p99_ms": r.Latency.P99() * 1e3, "p999_ms": r.Latency.P999() * 1e3,
 		"hosts": hosts,
 	}

@@ -11,6 +11,34 @@ import (
 	"sdm/internal/simclock"
 )
 
+// Granularity selects what the controller moves between FM and SM.
+type Granularity int
+
+// Controller granularities.
+const (
+	// Tables re-places whole tables — the §4.6/Table-5 greedy run
+	// verbatim against live densities.
+	Tables Granularity = iota
+	// Ranges runs the same greedy over fixed-width row ranges
+	// (core.Config.MigrationRangeBytes), so the DRAM budget holds the hot
+	// head of several tables instead of every byte of a few; under drift
+	// it recovers the FM-served rate while migrating a fraction of the
+	// bytes a whole-table swap would move.
+	Ranges
+)
+
+// String returns the granularity name.
+func (g Granularity) String() string {
+	switch g {
+	case Tables:
+		return "tables"
+	case Ranges:
+		return "ranges"
+	default:
+		return fmt.Sprintf("Granularity(%d)", int(g))
+	}
+}
+
 // Config tunes an Adapter.
 type Config struct {
 	// Interval is the virtual-time period between controller evaluations
@@ -21,38 +49,79 @@ type Config struct {
 	// must be positive.
 	DRAMBudget int64
 	// BandwidthBytesPerSec caps migration IO issue rate in virtual time.
-	// 0 means unpaced: a whole table's chunks issue back to back, stealing
-	// as much device time as the rings allow (the worst-case tail hit the
-	// cap exists to bound).
+	// 0 means unpaced: a whole migration's chunks issue back to back,
+	// stealing as much device time as the rings allow (the worst-case
+	// tail hit the cap exists to bound).
 	BandwidthBytesPerSec float64
 	// ChunkBytes is the payload of one migration IO burst — the pacing
 	// granularity of the bandwidth cap (default 64 KiB).
 	ChunkBytes int
 	// Smoothing is the telemetry EWMA weight of the newest window in
-	// (0, 1]; 0 selects 0.5.
+	// [0, 1]; 0 selects 0.5.
 	Smoothing float64
 	// Hysteresis is the demand-density advantage a challenger needs over
-	// an FM incumbent before a swap is scheduled (default 1.3; 1 disables
-	// stickiness).
+	// an FM incumbent before a swap is scheduled; must be >= 1 (1
+	// disables stickiness), 0 selects 1.3.
 	Hysteresis float64
 	// MaxMigrationsPerEval bounds how many swaps one evaluation may
 	// enqueue (default 4), limiting churn under noisy telemetry.
 	MaxMigrationsPerEval int
+	// Granularity selects whole-table (Tables, the default) or row-range
+	// (Ranges) re-placement.
+	Granularity Granularity
+	// PaybackSeconds is the range-mode payback filter: a row range is only
+	// worth migrating if its demand density would re-serve the range's own
+	// bytes from FM within this horizon (density >= 1/PaybackSeconds).
+	// Without it any positive tail density eventually fills the budget
+	// with cold ranges, churning migration bandwidth for nothing — the
+	// exact waste range granularity exists to avoid. 0 selects 10s;
+	// ignored at table granularity.
+	PaybackSeconds float64
 }
 
-// defaulted fills zero fields.
+// Validate reports configuration errors. Earlier revisions silently
+// rewrote out-of-range values (a Hysteresis of 0.5 became 1.3), which hid
+// real misconfigurations; CLIs surface these errors at flag-parse time.
+func (c Config) Validate() error {
+	switch {
+	case c.Interval < 0:
+		return fmt.Errorf("adapt: Interval must be >= 0 (0 selects 200ms), got %v", c.Interval)
+	case c.DRAMBudget < 0:
+		return fmt.Errorf("adapt: DRAMBudget must be >= 0 (0 inherits the store's placement budget), got %d", c.DRAMBudget)
+	case c.BandwidthBytesPerSec < 0:
+		return fmt.Errorf("adapt: BandwidthBytesPerSec must be >= 0 (0 = unpaced), got %g", c.BandwidthBytesPerSec)
+	case c.ChunkBytes < 0:
+		return fmt.Errorf("adapt: ChunkBytes must be >= 0 (0 selects 64 KiB), got %d", c.ChunkBytes)
+	case c.Smoothing < 0 || c.Smoothing > 1:
+		return fmt.Errorf("adapt: Smoothing must be in [0, 1] (0 selects 0.5), got %g", c.Smoothing)
+	case c.Hysteresis != 0 && c.Hysteresis < 1:
+		return fmt.Errorf("adapt: Hysteresis must be >= 1 (1 disables stickiness; 0 selects 1.3), got %g", c.Hysteresis)
+	case c.MaxMigrationsPerEval < 0:
+		return fmt.Errorf("adapt: MaxMigrationsPerEval must be >= 0 (0 selects 4), got %d", c.MaxMigrationsPerEval)
+	case c.Granularity != Tables && c.Granularity != Ranges:
+		return fmt.Errorf("adapt: unknown granularity %d", int(c.Granularity))
+	case c.PaybackSeconds < 0:
+		return fmt.Errorf("adapt: PaybackSeconds must be >= 0 (0 selects 10s), got %g", c.PaybackSeconds)
+	}
+	return nil
+}
+
+// defaulted fills zero fields; Validate has already rejected bad values.
 func (c Config) defaulted() Config {
-	if c.Interval <= 0 {
+	if c.Interval == 0 {
 		c.Interval = 200 * time.Millisecond
 	}
-	if c.ChunkBytes <= 0 {
+	if c.ChunkBytes == 0 {
 		c.ChunkBytes = 64 << 10
 	}
-	if c.Hysteresis < 1 {
+	if c.Hysteresis == 0 {
 		c.Hysteresis = 1.3
 	}
-	if c.MaxMigrationsPerEval <= 0 {
+	if c.MaxMigrationsPerEval == 0 {
 		c.MaxMigrationsPerEval = 4
+	}
+	if c.PaybackSeconds == 0 {
+		c.PaybackSeconds = 10
 	}
 	return c
 }
@@ -63,34 +132,57 @@ type Stats struct {
 	Promotions    int
 	Demotions     int
 	MigratedBytes int64
+	// RangeMoves is the subset of promotions+demotions that moved row
+	// ranges rather than whole tables.
+	RangeMoves int
+	// Aborts counts migrations abandoned mid-flight (Step error or stall)
+	// and rolled back.
+	Aborts int
 	// LastEval is the virtual time of the most recent evaluation.
 	LastEval simclock.Time
 }
 
 // String renders the headline numbers.
 func (s Stats) String() string {
-	return fmt.Sprintf("evals=%d promotions=%d demotions=%d migrated=%dB",
-		s.Evals, s.Promotions, s.Demotions, s.MigratedBytes)
+	return fmt.Sprintf("evals=%d promotions=%d demotions=%d rangeMoves=%d aborts=%d migrated=%dB",
+		s.Evals, s.Promotions, s.Demotions, s.RangeMoves, s.Aborts, s.MigratedBytes)
 }
 
-// migJob is one queued placement swap.
+// migJob is one queued placement move: a whole table, or the row window
+// [lo, hi) of one.
 type migJob struct {
 	table   int
 	promote bool
+	ranged  bool
+	lo, hi  int64
+}
+
+// migration is the slice of core.Migration the pacing loop drives,
+// narrowed to an interface so regression tests can substitute
+// failure-injecting fakes.
+type migration interface {
+	Step(now simclock.Time) (int, simclock.Time, error)
+	Finished() bool
+	Done() simclock.Time
+	Commit() error
+	Abort()
+	BytesMoved() int64
 }
 
 // activeMig paces one in-flight migration.
 type activeMig struct {
-	m         *core.Migration
+	job       migJob
+	m         migration
 	nextIssue simclock.Time
 }
 
 // Adapter is the per-host adaptive-tiering control loop: it samples
 // telemetry on the host's admission stream, periodically re-evaluates the
-// Table-5 placement against live demand, and drives bandwidth-capped
-// FM↔SM migrations on the virtual timeline. It implements serving.Tuner;
-// install it with Host.SetTuner. Not safe for concurrent use — each host
-// owns one Adapter, mirroring the one-store-per-host discipline.
+// Table-5 placement against live demand (over whole tables or row ranges,
+// per Config.Granularity), and drives bandwidth-capped FM↔SM migrations on
+// the virtual timeline. It implements serving.Tuner; install it with
+// Host.SetTuner. Not safe for concurrent use — each host owns one Adapter,
+// mirroring the one-store-per-host discipline.
 type Adapter struct {
 	cfg   Config
 	store *core.Store
@@ -101,6 +193,10 @@ type Adapter struct {
 	queue    []migJob
 	active   *activeMig
 	stats    Stats
+
+	// scratch buffers reused across evaluations.
+	cands []rangeCand
+	items []placement.RangeItem
 }
 
 // New builds an Adapter over a store opened with core.Config.ReserveSM.
@@ -108,13 +204,16 @@ func New(store *core.Store, cfg Config) (*Adapter, error) {
 	if store == nil {
 		return nil, errors.New("adapt: nil store")
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.defaulted()
 	budget := cfg.DRAMBudget
 	if budget <= 0 {
 		budget = store.Config().Placement.DRAMBudget
 	}
 	if budget <= 0 {
-		return nil, errors.New("adapt: no DRAM budget (set Config.DRAMBudget or the store's placement budget)")
+		return nil, errors.New("adapt: no DRAM budget (one of Config.DRAMBudget or the store's placement budget must be positive)")
 	}
 	swappable := false
 	for _, ts := range store.TableStats(nil) {
@@ -135,13 +234,14 @@ func New(store *core.Store, cfg Config) (*Adapter, error) {
 	}, nil
 }
 
-// Telemetry exposes the decayed per-table view (for experiments and CLIs).
+// Telemetry exposes the decayed per-table and per-range view (for
+// experiments and CLIs).
 func (a *Adapter) Telemetry() *Telemetry { return a.telem }
 
 // Stats returns what the adapter has done so far.
 func (a *Adapter) Stats() Stats { return a.stats }
 
-// PendingMigrations returns queued plus in-flight swap count.
+// PendingMigrations returns queued plus in-flight move count.
 func (a *Adapter) PendingMigrations() int {
 	n := len(a.queue)
 	if a.active != nil {
@@ -166,7 +266,11 @@ func (a *Adapter) BeforeAdmit(now simclock.Time) {
 	a.telem.Sample(now, a.store)
 	a.stats.Evals++
 	a.stats.LastEval = now
-	a.evaluate()
+	if a.cfg.Granularity == Ranges {
+		a.evaluateRanges()
+	} else {
+		a.evaluateTables()
+	}
 	a.advance(now)
 }
 
@@ -175,7 +279,10 @@ func (a *Adapter) BeforeAdmit(now simclock.Time) {
 func (a *Adapter) AfterAdmit(arrive, done simclock.Time) {}
 
 // advance issues paced migration chunks up to virtual time now and
-// commits finished migrations whose IO has completed.
+// commits finished migrations whose IO has completed. A migration whose
+// Step fails — or stalls issuing zero bytes without finishing, which would
+// otherwise spin the unpaced loop forever — is aborted and rolled back,
+// so a half-moved window can never be committed by a later pass.
 func (a *Adapter) advance(now simclock.Time) {
 	for {
 		if a.active == nil {
@@ -186,18 +293,18 @@ func (a *Adapter) advance(now simclock.Time) {
 			a.queue = a.queue[1:]
 			m, err := a.begin(job)
 			if err != nil {
-				// The table moved (or was never swappable) since the
-				// evaluation that queued the job: drop it.
+				// The table or range moved (or was never swappable) since
+				// the evaluation that queued the job: drop it.
 				continue
 			}
-			a.active = &activeMig{m: m, nextIssue: now}
+			a.active = &activeMig{job: job, m: m, nextIssue: now}
 		}
 		act := a.active
 		for !act.m.Finished() && act.nextIssue <= now {
 			n, _, err := act.m.Step(act.nextIssue)
-			if err != nil {
-				// Migration IO failed (device closed, capacity): abandon
-				// the swap; the table keeps its current placement.
+			if err != nil || (n == 0 && !act.m.Finished()) {
+				act.m.Abort()
+				a.stats.Aborts++
 				a.active = nil
 				break
 			}
@@ -212,80 +319,101 @@ func (a *Adapter) advance(now simclock.Time) {
 			return // needs a later now to issue or settle
 		}
 		if err := act.m.Commit(); err == nil {
-			if act.m.Promote() {
+			if act.job.promote {
 				a.stats.Promotions++
 			} else {
 				a.stats.Demotions++
 			}
+			if act.job.ranged {
+				a.stats.RangeMoves++
+			}
 			a.stats.MigratedBytes += act.m.BytesMoved()
+		} else {
+			// A failed commit must release the table's in-flight slot, or
+			// the table is wedged out of adaptation forever.
+			act.m.Abort()
+			a.stats.Aborts++
 		}
 		a.active = nil
 	}
 }
 
 // begin validates a queued job against the store's current state.
-func (a *Adapter) begin(job migJob) (*core.Migration, error) {
-	if job.promote {
-		return a.store.BeginPromote(job.table, a.cfg.ChunkBytes)
+func (a *Adapter) begin(job migJob) (migration, error) {
+	var (
+		m   *core.Migration
+		err error
+	)
+	switch {
+	case job.ranged && job.promote:
+		m, err = a.store.BeginPromoteRange(job.table, job.lo, job.hi, a.cfg.ChunkBytes)
+	case job.ranged:
+		m, err = a.store.BeginDemoteRange(job.table, job.lo, job.hi, a.cfg.ChunkBytes)
+	case job.promote:
+		m, err = a.store.BeginPromote(job.table, a.cfg.ChunkBytes)
+	default:
+		m, err = a.store.BeginDemote(job.table, a.cfg.ChunkBytes)
 	}
-	return a.store.BeginDemote(job.table, a.cfg.ChunkBytes)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
-// evaluate re-runs the Table-5 greedy FM promotion against live demand
-// densities and enqueues the placement diff as migrations (demotions
-// first, so the DRAM budget is respected throughout).
-func (a *Adapter) evaluate() {
-	type cand struct {
-		table   int
-		bytes   int64
-		density float64
-		inFM    bool
-	}
+// busyTables returns the tables with a queued or in-flight move.
+func (a *Adapter) busyTables() map[int]bool {
 	busy := make(map[int]bool, a.PendingMigrations())
 	if a.active != nil {
-		busy[a.active.m.Table()] = true
+		busy[a.active.job.table] = true
 	}
 	for _, j := range a.queue {
 		busy[j.table] = true
 	}
+	return busy
+}
 
+// evaluateTables re-runs the Table-5 greedy FM promotion against live
+// demand densities and enqueues the placement diff as whole-table
+// migrations (demotions first, so the DRAM budget is respected
+// throughout).
+func (a *Adapter) evaluateTables() {
+	busy := a.busyTables()
+
+	type cand struct {
+		table int
+		inFM  bool
+	}
 	var cands []cand
+	a.items = a.items[:0]
 	for _, t := range a.telem.Tables() {
 		if !t.Swappable || t.Windows == 0 {
 			continue
 		}
-		c := cand{
-			table:   t.Table,
-			bytes:   t.StoredBytes,
-			density: t.Density(),
-			inFM:    a.store.TargetOf(t.Table) == placement.FM,
-		}
+		c := cand{table: t.Table, inFM: a.store.TargetOf(t.Table) == placement.FM}
+		density := t.Density()
 		if c.inFM {
 			// Stickiness: an incumbent defends its slot unless a
 			// challenger beats it by the hysteresis factor.
-			c.density *= a.cfg.Hysteresis
+			density *= a.cfg.Hysteresis
 		}
 		cands = append(cands, c)
+		a.items = append(a.items, placement.RangeItem{
+			Table:   t.Table,
+			Range:   placement.WholeTable,
+			Bytes:   t.StoredBytes,
+			Density: density,
+		})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].density != cands[j].density {
-			return cands[i].density > cands[j].density
-		}
-		return cands[i].table < cands[j].table
-	})
-
-	// Greedy fill: the desired FM set under the budget.
+	// The desired FM set under the budget: the shared Table-5 greedy,
+	// here over whole-table items only.
 	desired := make(map[int]bool, len(cands))
-	remaining := a.budget
-	for _, c := range cands {
-		if c.density <= 0 {
-			break
-		}
-		if c.bytes <= remaining {
-			desired[c.table] = true
-			remaining -= c.bytes
-		}
+	for _, i := range placement.PackRanges(a.items, a.budget) {
+		desired[a.items[i].Table] = true
 	}
+	// Queued jobs the new desired set contradicts are stale — drop them
+	// before they begin, so consecutive evaluations cannot stack
+	// promotions past the budget.
+	a.reconcileQueue(func(j migJob) bool { return desired[j.table] == j.promote })
 
 	// Diff against current placement; demotions first.
 	var moves []migJob
@@ -303,4 +431,211 @@ func (a *Adapter) evaluate() {
 		moves = moves[:a.cfg.MaxMigrationsPerEval]
 	}
 	a.queue = append(a.queue, moves...)
+}
+
+// reconcileQueue keeps only the queued jobs the freshest evaluation still
+// agrees with. Without it a promotion queued under an older desired set
+// could begin (and commit) after drift moved the spotlight, stacking the
+// committed FM placement past the budget until a later eval demoted the
+// excess; the in-flight migration is left to finish — aborting it would
+// waste its issued IO — so any overshoot is bounded by one move.
+func (a *Adapter) reconcileQueue(keep func(migJob) bool) {
+	kept := a.queue[:0]
+	for _, j := range a.queue {
+		if keep(j) {
+			kept = append(kept, j)
+		}
+	}
+	a.queue = kept
+}
+
+// rangeCand carries one knapsack item plus the move metadata PackRanges
+// does not need.
+type rangeCand struct {
+	item     placement.RangeItem
+	lo, hi   int64 // row window (range items)
+	resident bool  // currently FM-resident (range) or FM-target (whole)
+	whole    bool  // whole-table item (an FM incumbent, demotable only wholesale)
+	busy     bool  // a queued or in-flight move already covers it
+}
+
+// evaluateRanges runs the Table-5 greedy at row-range granularity: SM
+// tables contribute one candidate per row range, while a whole-table FM
+// incumbent (a static FixedFM placement the controller inherited)
+// participates as a single indivisible item — if it loses the knapsack it
+// is demoted wholesale, after which its ranges compete individually.
+// Selected-but-absent ranges are promoted, resident-but-unselected ones
+// demoted (first, so the budget holds throughout), with adjacent ranges of
+// one table coalesced into a single [lo, hi) migration.
+func (a *Adapter) evaluateRanges() {
+	busyTable := make(map[int]bool)   // whole-table job pending
+	busyRange := make(map[int64]bool) // (table, range) jobs pending
+	rkey := func(table int, r int64) int64 { return int64(table)<<32 | r }
+	mark := func(j migJob) {
+		if !j.ranged {
+			busyTable[j.table] = true
+			return
+		}
+		rr := a.store.RangeRowsOf(j.table)
+		if rr <= 0 {
+			return
+		}
+		for r := j.lo / rr; r*rr < j.hi; r++ {
+			busyRange[rkey(j.table, r)] = true
+		}
+	}
+	if a.active != nil {
+		mark(a.active.job)
+	}
+	for _, j := range a.queue {
+		mark(j)
+	}
+
+	a.cands = a.cands[:0]
+	for _, t := range a.telem.Tables() {
+		if !t.Swappable {
+			continue
+		}
+		if a.store.TargetOf(t.Table) == placement.FM {
+			if t.Windows == 0 {
+				continue
+			}
+			a.cands = append(a.cands, rangeCand{
+				item: placement.RangeItem{
+					Table:   t.Table,
+					Range:   placement.WholeTable,
+					Bytes:   t.StoredBytes,
+					Density: t.Density() * a.cfg.Hysteresis,
+				},
+				lo: 0, hi: -1,
+				resident: true,
+				whole:    true,
+				busy:     busyTable[t.Table],
+			})
+		}
+	}
+	// The payback filter: a range must re-serve its own bytes from FM
+	// within the horizon to justify migrating it (and, with hysteresis, to
+	// keep its slot). Zeroing the density keeps the candidate in the move
+	// diff — sub-floor residents are demoted — while PackRanges never
+	// selects it.
+	floor := 1 / a.cfg.PaybackSeconds
+	rr := int64(0)
+	lastTable := -1
+	for _, rt := range a.telem.Ranges() {
+		if a.store.TargetOf(rt.Table) == placement.FM {
+			continue // covered by the whole-table incumbent item
+		}
+		if rt.Windows == 0 && !rt.FMResident {
+			continue
+		}
+		if rt.Table != lastTable {
+			rr = a.store.RangeRowsOf(rt.Table)
+			lastTable = rt.Table
+		}
+		if rr <= 0 {
+			continue
+		}
+		density := rt.Density()
+		if rt.FMResident {
+			density *= a.cfg.Hysteresis
+		}
+		if density < floor {
+			density = 0
+		}
+		lo := int64(rt.Range) * rr
+		a.cands = append(a.cands, rangeCand{
+			item: placement.RangeItem{
+				Table:   rt.Table,
+				Range:   rt.Range,
+				Bytes:   rt.Bytes,
+				Density: density,
+			},
+			lo: lo, hi: lo + rt.Rows,
+			resident: rt.FMResident,
+			busy:     busyTable[rt.Table] || busyRange[rkey(rt.Table, int64(rt.Range))],
+		})
+	}
+
+	a.items = a.items[:0]
+	for _, c := range a.cands {
+		a.items = append(a.items, c.item)
+	}
+	desired := make([]bool, len(a.cands))
+	for _, i := range placement.PackRanges(a.items, a.budget) {
+		desired[i] = true
+	}
+
+	// Drop queued jobs the new desired set contradicts (see
+	// reconcileQueue): a coalesced range job survives only if every range
+	// it covers still agrees with its direction.
+	desiredWhole := make(map[int]bool)
+	desiredRange := make(map[int64]bool)
+	for i, c := range a.cands {
+		if c.whole {
+			desiredWhole[c.item.Table] = desired[i]
+		} else {
+			desiredRange[rkey(c.item.Table, int64(c.item.Range))] = desired[i]
+		}
+	}
+	a.reconcileQueue(func(j migJob) bool {
+		if !j.ranged {
+			return desiredWhole[j.table] == j.promote
+		}
+		rr := a.store.RangeRowsOf(j.table)
+		if rr <= 0 {
+			return false
+		}
+		for r := j.lo / rr; r*rr < j.hi; r++ {
+			if desiredRange[rkey(j.table, r)] != j.promote {
+				return false
+			}
+		}
+		return true
+	})
+
+	var demote, promote []migJob
+	for i, c := range a.cands {
+		if c.busy || desired[i] == c.resident {
+			continue
+		}
+		if c.resident {
+			if c.whole {
+				demote = append(demote, migJob{table: c.item.Table, promote: false})
+			} else {
+				demote = append(demote, migJob{table: c.item.Table, promote: false, ranged: true, lo: c.lo, hi: c.hi})
+			}
+		} else {
+			promote = append(promote, migJob{table: c.item.Table, promote: true, ranged: true, lo: c.lo, hi: c.hi})
+		}
+	}
+	moves := append(coalesce(demote), coalesce(promote)...)
+	if len(moves) > a.cfg.MaxMigrationsPerEval {
+		moves = moves[:a.cfg.MaxMigrationsPerEval]
+	}
+	a.queue = append(a.queue, moves...)
+}
+
+// coalesce merges adjacent range jobs of the same table and direction into
+// single [lo, hi) migrations (whole-table jobs pass through), so one hot
+// head of k contiguous ranges costs one migration, not k.
+func coalesce(jobs []migJob) []migJob {
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].table != jobs[j].table {
+			return jobs[i].table < jobs[j].table
+		}
+		return jobs[i].lo < jobs[j].lo
+	})
+	out := jobs[:0]
+	for _, j := range jobs {
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.ranged && j.ranged && last.table == j.table && last.promote == j.promote && last.hi == j.lo {
+				last.hi = j.hi
+				continue
+			}
+		}
+		out = append(out, j)
+	}
+	return out
 }

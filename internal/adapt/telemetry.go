@@ -15,6 +15,7 @@ package adapt
 
 import (
 	"sdm/internal/core"
+	"sdm/internal/placement"
 	"sdm/internal/simclock"
 )
 
@@ -49,14 +50,50 @@ func (t TableTelemetry) Density() float64 {
 	return t.DemandBytes / float64(t.StoredBytes)
 }
 
-// Telemetry accumulates per-table windowed counters from a store's
-// cumulative TableStats, decaying older windows exponentially.
+// RangeTelemetry is one row range's decayed view of live traffic — the
+// demand signal behind range-granular re-placement.
+type RangeTelemetry struct {
+	Table int
+	Range int
+	// Rows and Bytes are the range's geometry (Bytes is what migrating it
+	// costs against the budget and the bandwidth cap).
+	Rows  int64
+	Bytes int64
+	// FMResident mirrors the store's residency at the last sample.
+	FMResident bool
+	// LookupRate is the decayed row-lookup rate (lookups/s of virtual
+	// time). While the whole table is FM-resident the store does not
+	// attribute lookups to ranges, so the value freezes at its last
+	// SM-phase estimate — the best available profile when the table is
+	// later demoted.
+	LookupRate float64
+	// RowBytes is the table's stored row size.
+	RowBytes int
+	// Windows counts samples folded into the decayed values.
+	Windows int
+}
+
+// Density returns the bandwidth demand per byte of capacity — the ranking
+// key of the range-granular knapsack, comparable with TableTelemetry.Density.
+func (r RangeTelemetry) Density() float64 {
+	if r.Bytes <= 0 {
+		return 0
+	}
+	return r.LookupRate * float64(r.RowBytes) / float64(r.Bytes)
+}
+
+// Telemetry accumulates per-table and per-range windowed counters from a
+// store's cumulative TableStats/RangeStats, decaying older windows
+// exponentially.
 type Telemetry struct {
 	// smoothing is the EWMA weight of the newest window.
 	smoothing float64
 	tables    []TableTelemetry
 	prev      []core.TableStat
 	cur       []core.TableStat // scratch
+	ranges    []RangeTelemetry
+	prevR     []core.RangeStat
+	curR      []core.RangeStat // scratch
 	lastAt    simclock.Time
 	primed    bool
 }
@@ -75,11 +112,20 @@ func NewTelemetry(smoothing float64) *Telemetry {
 // baseline.
 func (tl *Telemetry) Sample(now simclock.Time, s *core.Store) {
 	tl.cur = s.TableStats(tl.cur)
+	tl.curR = s.RangeStats(tl.curR)
 	if !tl.primed {
 		tl.prev = append(tl.prev[:0], tl.cur...)
+		tl.prevR = append(tl.prevR[:0], tl.curR...)
 		tl.tables = make([]TableTelemetry, len(tl.cur))
 		for i, ts := range tl.cur {
 			tl.tables[i] = TableTelemetry{Table: ts.Table, Swappable: ts.Swappable, StoredBytes: ts.StoredBytes}
+		}
+		tl.ranges = make([]RangeTelemetry, len(tl.curR))
+		for i, rs := range tl.curR {
+			tl.ranges[i] = RangeTelemetry{
+				Table: rs.Table, Range: rs.Range, Rows: rs.Rows, Bytes: rs.Bytes,
+				FMResident: rs.FMResident, RowBytes: tl.cur[rs.Table].RowBytes,
+			}
 		}
 		tl.lastAt = now
 		tl.primed = true
@@ -88,6 +134,17 @@ func (tl *Telemetry) Sample(now simclock.Time, s *core.Store) {
 	dt := (now - tl.lastAt).Seconds()
 	if dt <= 0 {
 		return
+	}
+	// Counter regression (Store.ResetRuntimeStats between samples): the
+	// uint64 deltas would underflow to ~1.8e19 and poison every decayed
+	// rate, so re-baseline and skip this window instead.
+	for i, cur := range tl.cur {
+		if cur.Lookups < tl.prev[i].Lookups {
+			tl.prev = append(tl.prev[:0], tl.cur...)
+			tl.prevR = append(tl.prevR[:0], tl.curR...)
+			tl.lastAt = now
+			return
+		}
 	}
 	a := tl.smoothing
 	for i, cur := range tl.cur {
@@ -120,12 +177,35 @@ func (tl *Telemetry) Sample(now simclock.Time, s *core.Store) {
 		}
 		t.Windows++
 	}
+	for i, cur := range tl.curR {
+		prev := tl.prevR[i]
+		r := &tl.ranges[i]
+		r.FMResident = cur.FMResident
+		if tl.cur[cur.Table].Target == placement.FM {
+			// Whole-table FM serving bypasses range accounting: freeze the
+			// last SM-phase estimate instead of decaying it with zeros.
+			continue
+		}
+		rate := float64(cur.Lookups-prev.Lookups) / dt
+		if r.Windows == 0 {
+			r.LookupRate = rate
+		} else {
+			r.LookupRate += a * (rate - r.LookupRate)
+		}
+		r.Windows++
+	}
 	tl.prev = append(tl.prev[:0], tl.cur...)
+	tl.prevR = append(tl.prevR[:0], tl.curR...)
 	tl.lastAt = now
 }
 
 // Tables returns the decayed per-table telemetry (indexed by table).
 func (tl *Telemetry) Tables() []TableTelemetry { return tl.tables }
+
+// Ranges returns the decayed per-range telemetry in (table, range) order
+// (empty before the first sample or for stores without range-provisioned
+// tables).
+func (tl *Telemetry) Ranges() []RangeTelemetry { return tl.ranges }
 
 // Table returns table i's telemetry (zero value before the first sample).
 func (tl *Telemetry) Table(i int) TableTelemetry {

@@ -47,6 +47,8 @@ func AdapterStats(adapters []*adapt.Adapter) adapt.Stats {
 		agg.Promotions += s.Promotions
 		agg.Demotions += s.Demotions
 		agg.MigratedBytes += s.MigratedBytes
+		agg.RangeMoves += s.RangeMoves
+		agg.Aborts += s.Aborts
 		if s.LastEval > agg.LastEval {
 			agg.LastEval = s.LastEval
 		}

@@ -193,6 +193,83 @@ func TestAdaptiveFleetDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// rangeAdaptiveFleet mirrors adaptiveFleet at row-range granularity: a
+// spatial (identity-permuted) workload clusters each table's hot rows in
+// its head ranges, and the controller packs ranges instead of tables.
+func rangeAdaptiveFleet(t *testing.T, in *model.Instance, tables []*embedding.Table, n, workers int) (*Fleet, []*adapt.Adapter) {
+	t.Helper()
+	scfg := core.Config{
+		Seed: 7, Ring: uring.Config{SGL: true}, CacheBytes: 1 << 16,
+		ReserveSM: true, MigrationRangeBytes: 16 << 10,
+		Placement: placement.Config{
+			Policy: placement.SMOnlyWithCache, UserTablesOnly: true,
+		},
+	}
+	hosts, err := HostSet(in, tables, n, &scfg, serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapters, err := AttachAdaptive(hosts, adapt.Config{
+		Interval: 100 * time.Millisecond, BandwidthBytesPerSec: 8 << 20,
+		ChunkBytes: 16 << 10, DRAMBudget: 5 * (96 << 10) / 2,
+		Granularity: adapt.Ranges,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(hosts, NewSticky(n, 64), Config{Seed: 11, HostWorkers: workers, Windows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(in, workload.Config{
+		Seed: 11, NumUsers: 800, UserAlpha: 0.9, Spatial: true,
+		Drift: workload.DriftConfig{HotTables: 2, HotBoost: 4, ColdShrink: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetGenerator(gen)
+	return f, adapters
+}
+
+func TestRangeAdaptiveFleetDeterministicAcrossWorkers(t *testing.T) {
+	// The range-granular determinism contract: per-range counters fold in
+	// operator order, range telemetry and the knapsack run in admission
+	// order, and migration windows pace on the virtual timeline — so a
+	// drift drill over real goroutines stays bit-identical at any worker
+	// count, including the new range-served window rates.
+	in, tables := adaptiveFixture(t)
+	var keys []string
+	for _, workers := range []int{1, 2, 4} {
+		f, adapters := rangeAdaptiveFleet(t, in, tables, 3, workers)
+		if _, err := f.Run(300, 600); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.ScheduleDrift(0.5); err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(300, 900)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			as := AdapterStats(adapters)
+			if as.RangeMoves == 0 {
+				t.Fatalf("range fleet never moved a range: %s", as)
+			}
+			if res.RangeServedRate <= 0 {
+				t.Fatalf("fleet range-served rate empty: %+v", res)
+			}
+		}
+		keys = append(keys, resultKey(t, res)+AdapterStats(adapters).String())
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[0] {
+			t.Fatalf("range-adaptive fleet diverged across worker counts:\n%s\nvs\n%s", keys[0], keys[i])
+		}
+	}
+}
+
 func TestScheduleDriftDrill(t *testing.T) {
 	in, tables := adaptiveFixture(t)
 	f, adapters := adaptiveFleet(t, in, tables, 3, 0)

@@ -23,8 +23,11 @@ type HostResult struct {
 	PooledHitRate float64
 	// FMServedRate is the fraction of store lookups served from fast
 	// memory (cache hits + FM-direct) — the placement-aware hit metric.
-	FMServedRate float64
-	SMReads      uint64
+	// RangeServedRate is the share contributed by FM-resident row ranges
+	// (partial-table promotions).
+	FMServedRate    float64
+	RangeServedRate float64
+	SMReads         uint64
 }
 
 // WindowStat aggregates one equal-width virtual-time window of the run —
@@ -37,6 +40,7 @@ type WindowStat struct {
 	MaxLat     float64 // seconds — catches sub-window bursts p99 dilutes away
 	HitRate    float64
 	FMRate     float64 // FM-served fraction of store lookups
+	RangeRate  float64 // fraction served by FM-resident row ranges
 	SMPerQuery float64
 }
 
@@ -48,10 +52,11 @@ type Result struct {
 	Start, End simclock.Time
 
 	// Fleet-wide aggregates.
-	Latency      *stats.Histogram
-	AchievedQPS  float64
-	HitRate      float64
-	FMServedRate float64
+	Latency         *stats.Histogram
+	AchievedQPS     float64
+	HitRate         float64
+	FMServedRate    float64
+	RangeServedRate float64
 
 	Hosts   []HostResult
 	Windows []WindowStat
@@ -134,6 +139,7 @@ func (f *Fleet) aggregate(qps float64, start, lastArrival simclock.Time, records
 	}
 	res.HitRate = fleetDelta.HitRate()
 	res.FMServedRate = fleetDelta.FMServedRate()
+	res.RangeServedRate = fleetDelta.RangeServedRate()
 	for i := range hosts {
 		d := hostDelta[i]
 		hosts[i].HitRate = d.HitRate()
@@ -141,6 +147,7 @@ func (f *Fleet) aggregate(qps float64, start, lastArrival simclock.Time, records
 			hosts[i].PooledHitRate = float64(d.PooledHits) / float64(ph)
 		}
 		hosts[i].FMServedRate = d.FMServedRate()
+		hosts[i].RangeServedRate = d.RangeServedRate()
 		hosts[i].SMReads = d.SMReads
 		if elapsed > 0 {
 			hosts[i].AchievedQPS = float64(hosts[i].Queries) / elapsed
@@ -231,6 +238,7 @@ func windowOver(records []record, lo, hi simclock.Time) WindowStat {
 		w.MaxLat = lat.Max()
 		w.HitRate = delta.HitRate()
 		w.FMRate = delta.FMServedRate()
+		w.RangeRate = delta.RangeServedRate()
 		w.SMPerQuery = float64(delta.SMReads) / float64(w.Queries)
 	}
 	return w
@@ -238,14 +246,14 @@ func windowOver(records []record, lo, hi simclock.Time) WindowStat {
 
 // String renders one host's share of the run.
 func (h HostResult) String() string {
-	return fmt.Sprintf("host%d alive=%t q=%d qps=%.3f p99=%.6f hit=%.4f fm=%.4f sm=%d",
-		h.ID, h.Alive, h.Queries, h.AchievedQPS, h.Latency.P99(), h.HitRate, h.FMServedRate, h.SMReads)
+	return fmt.Sprintf("host%d alive=%t q=%d qps=%.3f p99=%.6f hit=%.4f fm=%.4f rng=%.4f sm=%d",
+		h.ID, h.Alive, h.Queries, h.AchievedQPS, h.Latency.P99(), h.HitRate, h.FMServedRate, h.RangeServedRate, h.SMReads)
 }
 
 // String renders one window of the run's time series.
 func (w WindowStat) String() string {
-	return fmt.Sprintf("[%d,%d) q=%d mean=%.6f p99=%.6f max=%.6f hit=%.4f fm=%.4f sm=%.3f",
-		w.Start, w.End, w.Queries, w.MeanLat, w.P99, w.MaxLat, w.HitRate, w.FMRate, w.SMPerQuery)
+	return fmt.Sprintf("[%d,%d) q=%d mean=%.6f p99=%.6f max=%.6f hit=%.4f fm=%.4f rng=%.4f sm=%.3f",
+		w.Start, w.End, w.Queries, w.MeanLat, w.P99, w.MaxLat, w.HitRate, w.FMRate, w.RangeRate, w.SMPerQuery)
 }
 
 // String renders the fleet headline.

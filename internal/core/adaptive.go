@@ -26,14 +26,20 @@ type TableStat struct {
 	Target       placement.Target
 	Swappable    bool
 	CacheEnabled bool
-	// StoredBytes is the table's stored footprint (the bytes a migration
-	// moves); RowBytes the stored row size.
+	// StoredBytes is the table's stored footprint (the bytes a whole-table
+	// migration moves); RowBytes the stored row size.
 	StoredBytes int64
 	RowBytes    int
+	// RangeRows is the row-range width of a range-provisioned table (0
+	// otherwise) and FMRangeBytes the stored bytes currently FM-resident
+	// through promoted ranges.
+	RangeRows    int64
+	FMRangeBytes int64
 
 	Lookups       uint64
 	SMReads       uint64
 	FMDirectReads uint64
+	RangeFMReads  uint64
 	CacheHits     uint64
 	CacheMisses   uint64
 	PooledHits    uint64
@@ -62,9 +68,12 @@ func (s *Store) TableStats(dst []TableStat) []TableStat {
 			CacheEnabled:  st.cacheEnabled,
 			StoredBytes:   st.spec.SizeBytes(),
 			RowBytes:      st.spec.RowBytes(),
+			RangeRows:     st.rangeRows,
+			FMRangeBytes:  st.fmRangeBytes,
 			Lookups:       st.runtime.Lookups,
 			SMReads:       st.runtime.SMReads,
 			FMDirectReads: st.runtime.FMDirectReads,
+			RangeFMReads:  st.runtime.RangeFMReads,
 			PooledHits:    st.runtime.PooledHits,
 			PooledMisses:  st.runtime.PooledMisses,
 		}
@@ -81,29 +90,37 @@ func (s *Store) TableStats(dst []TableStat) []TableStat {
 	return dst
 }
 
-// Migration is one in-progress FM↔SM table move. The caller issues chunks
-// with Step at virtual times of its choosing (that is where a bandwidth
-// cap lives), then finalizes the placement swap with Commit once the last
-// chunk's IO has completed on the virtual timeline. Migrations are not
-// concurrency-safe and must be driven from the same discrete-event thread
-// as queries.
+// Migration is one in-progress FM↔SM move — a whole table
+// (BeginPromote/BeginDemote) or a range-aligned row window of one
+// (BeginPromoteRange/BeginDemoteRange). The caller issues chunks with Step
+// at virtual times of its choosing (that is where a bandwidth cap lives),
+// then finalizes the placement swap with Commit once the last chunk's IO
+// has completed on the virtual timeline; Abort renounces a migration whose
+// Step failed mid-flight, so a later Commit cannot install a half-built
+// copy. Migrations are not concurrency-safe and must be driven from the
+// same discrete-event thread as queries.
 type Migration struct {
 	s  *Store
 	st *tableState
 
 	table     int
 	promote   bool // SM→FM reads; false = FM→SM writes
+	ranged    bool // row-window migration over range residency
 	chunkRows int64
-	next      int64
 
-	data    []byte // promote: FM destination (stored row order)
-	src     []byte // demote: FM source bytes
+	// [begin, end) is the row window being moved (the whole table when
+	// ranged is false); next is the first row of the next chunk.
+	begin, end, next int64
+
+	data    []byte // promote: FM destination for rows [begin,end)
+	src     []byte // whole-table demote: FM source bytes
 	staging []byte // per-device gather/scatter buffer
 
 	issuedBytes int64
 	done        simclock.Time
 	finished    bool
 	committed   bool
+	aborted     bool
 }
 
 // migrationState validates a swap request and returns the table state.
@@ -121,7 +138,8 @@ func (s *Store) migrationState(table int, want placement.Target) (*tableState, e
 	return st, nil
 }
 
-// newMigration sizes the chunking for one migration.
+// newMigration sizes the chunking for one migration over the whole table;
+// range Begins narrow [begin, end) afterwards.
 func newMigration(s *Store, st *tableState, table int, promote bool, chunkBytes int) *Migration {
 	rb := int64(st.rowBytes)
 	rows := int64(chunkBytes) / rb
@@ -131,6 +149,7 @@ func newMigration(s *Store, st *tableState, table int, promote bool, chunkBytes 
 	return &Migration{
 		s: s, st: st, table: table, promote: promote,
 		chunkRows: rows,
+		end:       st.rows,
 		staging:   make([]byte, rows*rb),
 	}
 }
@@ -144,11 +163,21 @@ func (s *Store) BeginPromote(table int, chunkBytes int) (*Migration, error) {
 	if err != nil {
 		return nil, err
 	}
+	if st.fmRangeBytes > 0 {
+		// A whole-table promotion would rebuild the FM copy from the SM
+		// stripe, which is stale for rows updated while range-resident;
+		// the ranges must be demoted (rewriting SM) first.
+		return nil, fmt.Errorf("core: table %d has FM-resident row ranges; demote them before a whole-table promotion", table)
+	}
 	if chunkBytes <= 0 {
 		chunkBytes = 256 << 10
 	}
+	if st.migIn != nil {
+		return nil, fmt.Errorf("core: table %d already has a promotion in flight", table)
+	}
 	m := newMigration(s, st, table, true, chunkBytes)
 	m.data = make([]byte, st.storedSpec.SizeBytes())
+	st.migIn = m
 	return m, nil
 }
 
@@ -167,8 +196,12 @@ func (s *Store) BeginDemote(table int, chunkBytes int) (*Migration, error) {
 	if chunkBytes <= 0 {
 		chunkBytes = 256 << 10
 	}
+	if st.migOut != nil {
+		return nil, fmt.Errorf("core: table %d already has a demotion in flight", table)
+	}
 	m := newMigration(s, st, table, false, chunkBytes)
 	m.src = st.fm.Bytes()
+	st.migOut = m
 	return m, nil
 }
 
@@ -201,6 +234,9 @@ func ceilRows(a, n int64) int64 {
 // Finished reports true; Commit may then be called once the caller's
 // clock passes Done.
 func (m *Migration) Step(now simclock.Time) (int, simclock.Time, error) {
+	if m.aborted {
+		return 0, m.done, fmt.Errorf("core: step of aborted migration (table %d)", m.table)
+	}
 	if m.finished {
 		return 0, m.done, nil
 	}
@@ -209,8 +245,8 @@ func (m *Migration) Step(now simclock.Time) (int, simclock.Time, error) {
 	rb := int64(st.rowBytes)
 	r0 := m.next
 	r1 := r0 + m.chunkRows
-	if r1 > st.rows {
-		r1 = st.rows
+	if r1 > m.end {
+		r1 = m.end
 	}
 	chunkDone := now
 	bytes := 0
@@ -231,7 +267,7 @@ func (m *Migration) Step(now simclock.Time) (int, simclock.Time, error) {
 				return bytes, chunkDone, fmt.Errorf("core: promote table %d: %w", m.table, err)
 			}
 			for j := lo; j < hi; j++ {
-				g := (j*n + d) * rb
+				g := (j*n + d - m.begin) * rb
 				copy(m.data[g:g+rb], buf[(j-lo)*rb:(j-lo+1)*rb])
 			}
 			if done > chunkDone {
@@ -239,8 +275,7 @@ func (m *Migration) Step(now simclock.Time) (int, simclock.Time, error) {
 			}
 		} else {
 			for j := lo; j < hi; j++ {
-				g := (j*n + d) * rb
-				copy(buf[(j-lo)*rb:(j-lo+1)*rb], m.src[g:g+rb])
+				copy(buf[(j-lo)*rb:(j-lo+1)*rb], m.srcRow(j*n+d))
 			}
 			done, err := s.rings[d].SubmitSync(now, buf, off, true)
 			if err != nil {
@@ -257,10 +292,20 @@ func (m *Migration) Step(now simclock.Time) (int, simclock.Time, error) {
 		m.done = chunkDone
 	}
 	m.next = r1
-	if r1 >= st.rows {
+	if r1 >= m.end {
 		m.finished = true
 	}
 	return bytes, m.done, nil
+}
+
+// srcRow returns the FM source bytes of global row during a demotion:
+// the whole-table FM copy, or the row's FM-resident range.
+func (m *Migration) srcRow(row int64) []byte {
+	rb := int64(m.st.rowBytes)
+	if !m.ranged {
+		return m.src[row*rb : (row+1)*rb]
+	}
+	return m.st.fmRangeRow(row)
 }
 
 // Commit finalizes the placement swap: promotions install the FM table
@@ -269,40 +314,151 @@ func (m *Migration) Step(now simclock.Time) (int, simclock.Time, error) {
 // the caller's virtual clock has passed Done — data would otherwise still
 // be "in flight" on the timeline.
 func (m *Migration) Commit() error {
+	if m.aborted {
+		return fmt.Errorf("core: commit of aborted migration (table %d)", m.table)
+	}
 	if !m.finished {
-		return fmt.Errorf("core: commit of unfinished migration (table %d, %d/%d rows)", m.table, m.next, m.st.rows)
+		return fmt.Errorf("core: commit of unfinished migration (table %d, %d/%d rows)", m.table, m.next-m.begin, m.end-m.begin)
 	}
 	if m.committed {
 		return nil
 	}
 	st := m.st
 	if m.promote {
+		var tbl *embedding.Table
+		if !m.ranged {
+			// Validate the image before foldDirty touches the cache, so a
+			// failed commit has no side effects (the drained dirty flags
+			// would otherwise be lost with the discarded image). FromBytes
+			// wraps m.data without copying, so the fold below lands in tbl.
+			var err error
+			tbl, err = embedding.FromBytes(st.storedSpec, m.data)
+			if err != nil {
+				return fmt.Errorf("core: promote table %d: %w", m.table, err)
+			}
+		}
 		if st.cache != nil {
 			// Online updates live cache-first as dirty entries (§A.3), so
 			// for those rows the cache — not SM — holds the freshest copy.
-			// Fold them into the FM image; clearing the dirty flags is
-			// correct because the FM copy becomes the table's source of
-			// truth, and a later demotion rewrites SM wholesale.
-			rb := int64(st.rowBytes)
-			st.cache.FlushDirty(func(k cache.Key, v []byte) {
-				copy(m.data[k.Row*rb:k.Row*rb+rb], v)
-			})
+			// Fold the in-window ones into the FM image; clearing their
+			// dirty flags is correct because the FM copy becomes those
+			// rows' source of truth, and a later demotion rewrites their
+			// SM stripe share wholesale. Dirty entries outside the window
+			// keep serving cache-first, so they are re-marked dirty.
+			m.foldDirty()
 		}
-		tbl, err := embedding.FromBytes(st.storedSpec, m.data)
-		if err != nil {
-			return fmt.Errorf("core: promote table %d: %w", m.table, err)
+		if m.ranged {
+			m.installRanges()
+		} else {
+			st.fm = tbl
+			st.target = placement.FM
 		}
-		st.fm = tbl
-		st.target = placement.FM
 		m.s.stats.MigratedSMToFMBytes += uint64(m.issuedBytes)
 	} else {
-		st.fm = nil
-		st.target = placement.SM
+		if m.ranged {
+			m.releaseRanges()
+		} else {
+			st.fm = nil
+			st.target = placement.SM
+		}
 		m.s.stats.MigratedFMToSMBytes += uint64(m.issuedBytes)
 	}
 	m.s.stats.Migrations++
+	if m.ranged {
+		m.s.stats.RangeMigrations++
+	}
 	m.committed = true
+	m.untrack()
 	return nil
+}
+
+// untrack releases the table's in-flight slot for this migration.
+func (m *Migration) untrack() {
+	if m.st.migIn == m {
+		m.st.migIn = nil
+	}
+	if m.st.migOut == m {
+		m.st.migOut = nil
+	}
+}
+
+// foldDirty folds dirty cache entries inside the migration window into the
+// promoted FM image and re-marks the out-of-window ones dirty (a
+// whole-table window keeps the original drain-everything behavior).
+func (m *Migration) foldDirty() {
+	st := m.st
+	rb := int64(st.rowBytes)
+	type dirtyRow struct {
+		k cache.Key
+		v []byte
+	}
+	var keep []dirtyRow
+	st.cache.FlushDirty(func(k cache.Key, v []byte) {
+		if k.Row >= m.begin && k.Row < m.end {
+			g := (k.Row - m.begin) * rb
+			copy(m.data[g:g+rb], v)
+			return
+		}
+		keep = append(keep, dirtyRow{k: k, v: append([]byte(nil), v...)})
+	})
+	for _, d := range keep {
+		st.cache.PutDirty(d.k, d.v)
+	}
+}
+
+// installRanges copies the promoted window into per-range FM buffers —
+// one allocation per range, not sub-slices of the staging image, so a
+// later demotion of one range actually frees its bytes instead of pinning
+// the whole coalesced window through a sibling.
+func (m *Migration) installRanges() {
+	st := m.st
+	rb := int64(st.rowBytes)
+	if st.fmRange == nil {
+		st.fmRange = make([][]byte, st.numRanges())
+	}
+	for r := int(m.begin / st.rangeRows); ; r++ {
+		lo, hi := st.rangeBounds(r)
+		if lo >= m.end {
+			break
+		}
+		buf := make([]byte, (hi-lo)*rb)
+		copy(buf, m.data[(lo-m.begin)*rb:(hi-m.begin)*rb])
+		st.fmRange[r] = buf
+		st.fmRangeBytes += (hi - lo) * rb
+	}
+	m.data = nil
+}
+
+// releaseRanges drops the FM buffers of the demoted window.
+func (m *Migration) releaseRanges() {
+	st := m.st
+	rb := int64(st.rowBytes)
+	for r := int(m.begin / st.rangeRows); ; r++ {
+		lo, hi := st.rangeBounds(r)
+		if lo >= m.end {
+			break
+		}
+		st.fmRange[r] = nil
+		st.fmRangeBytes -= (hi - lo) * rb
+	}
+}
+
+// Aborted reports whether the migration was abandoned.
+func (m *Migration) Aborted() bool { return m.aborted }
+
+// Abort renounces an in-flight migration after a Step error (or a caller
+// change of mind): Step and Commit fail afterwards, so a half-built FM
+// image can never be installed. Nothing physical needs rolling back — an
+// aborted promotion's staging copy is simply dropped, and an aborted
+// demotion's partially rewritten SM window is unreachable (the rows remain
+// FM-resident) until a later demotion rewrites it from its first row.
+// Safe to call more than once; a no-op after Commit.
+func (m *Migration) Abort() {
+	if m.committed {
+		return
+	}
+	m.aborted = true
+	m.untrack()
 }
 
 // Swappable reports whether table can be migrated at runtime.

@@ -108,6 +108,14 @@ type Config struct {
 	// and SM row formats diverge — and with UseMmap.
 	ReserveSM bool
 
+	// MigrationRangeBytes is the row-range width, in stored bytes, at
+	// which ReserveSM tables are provisioned for partial-table migration:
+	// residency tracking, per-range lookup counters and range-scoped
+	// migrations all operate on [lo, hi) row windows of this size, so an
+	// adaptive controller can promote a table's hot rows without paying
+	// for its cold ones. 0 selects 256 KiB.
+	MigrationRangeBytes int64
+
 	// Prune stores SM tables pruned, with mapper tensors in FM (§4.5).
 	Prune bool
 	// PruneEps is the |value| threshold under which rows are pruned.
@@ -150,6 +158,9 @@ func (c Config) Defaulted() Config {
 	}
 	if c.Prune && c.PruneEps <= 0 {
 		c.PruneEps = 1e-6
+	}
+	if c.MigrationRangeBytes <= 0 {
+		c.MigrationRangeBytes = 256 << 10
 	}
 	if c.Placement.Policy == 0 {
 		c.Placement.Policy = placement.SMOnlyWithCache

@@ -45,6 +45,10 @@ type opCtx struct {
 	stats Stats
 	// buf is the worker's scratch row buffer.
 	buf []byte
+	// rlk accumulates per-row-range lookup deltas for range-provisioned
+	// SM tables (nil otherwise), merged into the table state in operator
+	// order alongside stats.
+	rlk []uint64
 	// reads is the deferred IO trace (unused in immediate mode).
 	reads []deferredIO
 	// immediate times IOs inline through the legacy path (mmap ablation);
@@ -149,6 +153,17 @@ func (s *Store) poolOne(c *opCtx, pool []int64, out []float32) error {
 func (s *Store) fetchAndAccumulate(c *opCtx, row int64, out []float32) error {
 	st := c.st
 	rb := st.rowBytes
+	if c.rlk != nil {
+		c.rlk[row/st.rangeRows]++
+	}
+	// FM-resident row range (partial-table promotion): plain memory read,
+	// no cache probe — the per-range analogue of the FM-direct fast path.
+	if b := st.fmRangeRow(row); b != nil {
+		c.stats.FMDirectReads++
+		c.stats.RangeFMReads++
+		c.res.CPUTime += perByteCost(costFMReadPerByteNs+costDequantPerByteNs, rb)
+		return quant.AccumulateRow(out, b, st.storedSpec.QType)
+	}
 	buf := c.buf[:rb]
 	key := cache.Key{Table: int32(st.spec.ID), Row: row}
 

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sdm/internal/placement"
 	"sdm/internal/simclock"
 	"sdm/internal/workload"
 )
@@ -97,6 +98,11 @@ func (s *Store) PoolOps(now simclock.Time, ops []workload.TableOp, outs [][][]fl
 		c.res.IODone = now
 		c.buf = scratch[worker].buf
 		c.immediate = immediate
+		if c.st.rangeLookups != nil && c.st.target == placement.SM {
+			c.rlk = zeroedRanges(c.rlk, len(c.st.rangeLookups))
+		} else {
+			c.rlk = nil
+		}
 		return s.runOp(c, ops[i], outs[i])
 	})
 	if err != nil {
@@ -115,6 +121,9 @@ func (s *Store) PoolOps(now simclock.Time, ops []workload.TableOp, outs [][][]fl
 		}
 		s.stats.addRuntime(c.stats)
 		c.st.runtime.addRuntime(c.stats)
+		for r, v := range c.rlk {
+			c.st.rangeLookups[r] += v
+		}
 		s.stats.CPUTime += c.res.CPUTime
 		results[i] = c.res
 	}
@@ -151,6 +160,7 @@ func (s *Stats) addRuntime(d Stats) {
 	s.Lookups += d.Lookups
 	s.SMReads += d.SMReads
 	s.FMDirectReads += d.FMDirectReads
+	s.RangeFMReads += d.RangeFMReads
 	s.MapperSkips += d.MapperSkips
 	s.ZeroRowReads += d.ZeroRowReads
 	s.PooledHits += d.PooledHits
@@ -175,9 +185,23 @@ func (s *Store) ctxsFor(n int) []opCtx {
 	ctxs := s.ctxBuf[:n]
 	for i := range ctxs {
 		reads := ctxs[i].reads
-		ctxs[i] = opCtx{reads: reads[:0]}
+		rlk := ctxs[i].rlk
+		ctxs[i] = opCtx{reads: reads[:0], rlk: rlk[:0]}
 	}
 	return ctxs
+}
+
+// zeroedRanges returns dst resized to n with every element zero, reusing
+// its capacity.
+func zeroedRanges(dst []uint64, n int) []uint64 {
+	if cap(dst) < n {
+		return make([]uint64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
 }
 
 // runIndexed runs fn(worker, i) for i in [0, n) across the given worker

@@ -79,6 +79,26 @@ type tableState struct {
 	// whichever tier the table currently occupies.
 	swappable bool
 
+	// Row-range residency (swappable tables only): rows partition into
+	// fixed-width ranges of rangeRows rows (the last one may be short).
+	// While target == SM, fmRange[r] holds range r's stored rows when the
+	// range has been promoted to FM, nil while it serves from SM; a
+	// whole-table promotion (target == FM) supersedes it. fmRangeBytes is
+	// the stored bytes currently FM-resident through ranges, and
+	// rangeLookups the per-range row-lookup counters, folded in operator
+	// order like every other runtime counter.
+	rangeRows    int64
+	fmRange      [][]byte
+	fmRangeBytes int64
+	rangeLookups []uint64
+
+	// migIn/migOut track the table's in-flight promotion/demotion (one
+	// each), so UpdateRow can keep rows whose chunk already moved
+	// coherent: an update racing an issued demote chunk writes through to
+	// SM, one racing an issued promote chunk patches the staging image.
+	migIn  *Migration
+	migOut *Migration
+
 	// runtime accumulates this table's runtime counters. The query engine
 	// folds them in operator order, so they are parallelism-invariant.
 	runtime Stats
@@ -117,7 +137,8 @@ type tableState struct {
 type Stats struct {
 	Lookups        uint64 // row lookups requested (post pooled-cache)
 	SMReads        uint64 // row reads that went to a device
-	FMDirectReads  uint64 // reads served from FM-direct tables
+	FMDirectReads  uint64 // reads served from FM-direct tables or FM-resident ranges
+	RangeFMReads   uint64 // subset of FMDirectReads served by FM-resident row ranges
 	MapperSkips    uint64 // pruned rows resolved to zero via mapper
 	ZeroRowReads   uint64 // de-pruned zero rows actually read (cache pollution)
 	PooledHits     uint64
@@ -130,9 +151,11 @@ type Stats struct {
 	LoadDuration   time.Duration
 	DeprunedTables int
 
-	// Adaptive-tiering counters: committed runtime placement swaps and the
+	// Adaptive-tiering counters: committed runtime placement swaps (and
+	// the subset that moved row ranges rather than whole tables) plus the
 	// migration bytes they moved through the devices.
 	Migrations          int
+	RangeMigrations     int
 	MigratedSMToFMBytes uint64
 	MigratedFMToSMBytes uint64
 }
@@ -192,6 +215,16 @@ func (s *Store) loadTables(tables []*embedding.Table) error {
 		}
 		if s.cfg.ReserveSM && s.cfg.Placement.EligibleSM(i, st.spec.Kind) {
 			st.swappable = true
+		}
+		if st.swappable {
+			// Row-range provisioning: the partial-migration grain, fixed
+			// for the store's lifetime so range indices stay stable.
+			rb := int64(st.spec.RowBytes())
+			st.rangeRows = s.cfg.MigrationRangeBytes / rb
+			if st.rangeRows < 1 {
+				st.rangeRows = 1
+			}
+			st.rangeLookups = make([]uint64, (st.spec.Rows+st.rangeRows-1)/st.rangeRows)
 		}
 		if st.target == placement.FM {
 			st.fm = t
@@ -499,6 +532,7 @@ func (s *Store) ResetRuntimeStats() {
 		MapperFMBytes: mapperFM, EffCacheBytes: eff,
 		LoadSMBytes: loadB, LoadDuration: loadD, DeprunedTables: dep,
 		Migrations:          s.stats.Migrations,
+		RangeMigrations:     s.stats.RangeMigrations,
 		MigratedSMToFMBytes: s.stats.MigratedSMToFMBytes,
 		MigratedFMToSMBytes: s.stats.MigratedFMToSMBytes,
 	}
@@ -506,6 +540,9 @@ func (s *Store) ResetRuntimeStats() {
 	// keeping TableStats coherent with Stats across the reset.
 	for _, st := range s.tables {
 		st.runtime = Stats{}
+		for r := range st.rangeLookups {
+			st.rangeLookups[r] = 0
+		}
 	}
 	for _, d := range s.devices {
 		d.ResetStats()

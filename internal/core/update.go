@@ -48,7 +48,7 @@ func (s *Store) UpdateRow(now simclock.Time, table int, row int64, value []byte,
 			// cannot resurface a stale cached row.
 			st.cache.Put(cache.Key{Table: int32(st.spec.ID), Row: row}, value)
 		}
-		return now, nil
+		return s.demoteWriteThrough(now, st, row, value)
 	}
 	if st.mapper != nil {
 		m := st.mapper[row]
@@ -61,6 +61,18 @@ func (s *Store) UpdateRow(now simclock.Time, table int, row int64, value []byte,
 		return now, fmt.Errorf("core: update row size %d, want %d", len(value), st.rowBytes)
 	}
 	key := cache.Key{Table: int32(st.spec.ID), Row: row}
+	if b := st.fmRangeRow(row); b != nil {
+		// The row's range is FM-resident: the FM copy is its source of
+		// truth (a later range demotion rewrites SM from it), so update in
+		// place like an FM-direct table — and keep any cached copy
+		// coherent so the SM path cannot resurface a stale row after the
+		// demotion.
+		copy(b, value)
+		if st.cache != nil {
+			st.cache.Put(key, value)
+		}
+		return s.demoteWriteThrough(now, st, row, value)
+	}
 	if mode == UpdateOnline && st.cache != nil {
 		// Cache-first: readers see the new value immediately; SM is
 		// refreshed by FlushUpdates. Tables without a cache shard
@@ -77,7 +89,28 @@ func (s *Store) UpdateRow(now simclock.Time, table int, row int64, value []byte,
 	if st.cache != nil {
 		st.cache.Put(key, value)
 	}
+	if p := st.migIn; p != nil && row >= p.begin && row < p.next {
+		// An in-flight promotion already read this row's old bytes off
+		// SM; patch its staging image so Commit cannot install the stale
+		// value behind the (non-dirty) cache entry.
+		rb := int64(st.rowBytes)
+		copy(p.data[(row-p.begin)*rb:(row-p.begin+1)*rb], value)
+	}
 	return done, nil
+}
+
+// demoteWriteThrough keeps an in-flight demotion coherent with an update
+// to an FM-resident row: chunks issued before the update carried the old
+// bytes to SM, and Commit would drop the fresh FM copy behind a merely
+// evictable cache entry — so the row is re-written to SM at now. Chunks
+// not yet issued read the (live) FM source and need nothing.
+func (s *Store) demoteWriteThrough(now simclock.Time, st *tableState, row int64, value []byte) (simclock.Time, error) {
+	d := st.migOut
+	if d == nil || row < d.begin || row >= d.next {
+		return now, nil
+	}
+	dev, off := s.smLocation(st, row)
+	return s.devices[dev].Write(now, value, off)
 }
 
 // FlushUpdates drains dirty cache entries to SM (the §A.3 write-back path)

@@ -34,7 +34,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "tab1", "fig3", "tab2", "fig4", "fig5", "fig6",
 		"tab3", "tab4", "tab8", "tab9", "tab10", "tab11", "cluster", "drift",
-		"sgl", "mmap", "deprune", "dequant", "interop", "polling", "warmup", "update",
+		"rowrange", "sgl", "mmap", "deprune", "dequant", "interop", "polling", "warmup", "update",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -233,6 +233,51 @@ func TestDrift(t *testing.T) {
 	if res.CappedPeakP99 > res.UnpacedPeakP99 {
 		t.Fatalf("capped post-rotation p99 %.2fms above unpaced %.2fms",
 			res.CappedPeakP99*1e3, res.UnpacedPeakP99*1e3)
+	}
+}
+
+func TestRowRange(t *testing.T) {
+	// The partial-table migration acceptance drill, asserted
+	// deterministically for the fixed test seed: under the same drift,
+	// DRAM budget and bandwidth cap, range-granular adaptation holds the
+	// FM-served rate within 5 points of whole-table adaptation while
+	// migrating at most half the bytes.
+	res := runExp(t, "rowrange").(*RowRangeResult)
+
+	// The rotation must genuinely hurt whole-table placement (its budget
+	// fits only the spotlight tables) before it recovers.
+	if drop := res.TablePre - res.TablePost; drop < 0.05 {
+		t.Fatalf("rotation barely moved the whole-table FM rate: pre=%.3f post=%.3f", res.TablePre, res.TablePost)
+	}
+	if res.TableRecovery < 0.5 {
+		t.Fatalf("whole-table adaptation failed to recover: %.2f (pre=%.3f post=%.3f final=%.3f)",
+			res.TableRecovery, res.TablePre, res.TablePost, res.TableFinal)
+	}
+
+	// Acceptance: range granularity ends within 5 points of whole-table…
+	if res.RangeFinal < res.TableFinal-0.05 {
+		t.Fatalf("range-granular final FM rate %.3f more than 5 points below whole-table %.3f",
+			res.RangeFinal, res.TableFinal)
+	}
+	// …while its residency (hot heads of every table) also softens the
+	// drop itself…
+	if res.RangePost < res.TablePost {
+		t.Fatalf("range-granular post-rotation FM rate %.3f below whole-table %.3f",
+			res.RangePost, res.TablePost)
+	}
+	// …and migrating at most half the bytes under the same cap.
+	if res.TableBytes == 0 || res.RangeBytes*2 > res.TableBytes {
+		t.Fatalf("range granularity migrated %d bytes vs %d whole-table (want <= 50%%)",
+			res.RangeBytes, res.TableBytes)
+	}
+
+	// The FM service must actually come from FM-resident ranges, and the
+	// repeated run at a different HostWorkers count must be bit-identical.
+	if res.RangeServedFinal < 0.5 {
+		t.Fatalf("final-window range-served rate %.3f too low for a range-resident regime", res.RangeServedFinal)
+	}
+	if !res.WorkersDeterministic {
+		t.Fatal("range drill diverged across HostWorkers counts")
 	}
 }
 

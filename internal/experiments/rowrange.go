@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sdm/internal/adapt"
+	"sdm/internal/blockdev"
+	"sdm/internal/cluster"
+	"sdm/internal/core"
+	"sdm/internal/embedding"
+	"sdm/internal/model"
+	"sdm/internal/placement"
+	"sdm/internal/serving"
+	"sdm/internal/uring"
+	"sdm/internal/workload"
+)
+
+// RowRangeResult carries the partial-table migration drill: the same
+// drift scenario adapted at whole-table vs row-range granularity, under
+// one DRAM budget and one migration bandwidth cap. The point being made:
+// row popularity within a table is Zipf-skewed, so moving hot row ranges
+// recovers the FM-served rate as well as moving whole tables while
+// migrating a fraction of the bytes — faster recovery under the same cap.
+type RowRangeResult struct {
+	tableResult
+
+	// FM-served rates before the rotation, first window after, and final
+	// window, per granularity.
+	TablePre, TablePost, TableFinal float64
+	RangePre, RangePost, RangeFinal float64
+	TableRecovery, RangeRecovery    float64
+
+	// Migration traffic of the measured (post-rotation) run.
+	TableBytes, RangeBytes int64
+	TableMoves, RangeMoves int
+
+	// RangeServedFinal is the final-window fraction of lookups served by
+	// FM-resident row ranges in the range run (0 by construction in the
+	// table run).
+	RangeServedFinal float64
+
+	// WorkersDeterministic reports whether the range run repeated at a
+	// different HostWorkers count produced bit-identical results.
+	WorkersDeterministic bool
+}
+
+// rowRangeModel builds the partial-migration regime: equal-sized user
+// tables with sharply skewed row popularity, served by a spatial
+// (identity-permuted) workload so each table's hot rows cluster in its
+// head ranges — the within-table structure whole-table migration cannot
+// exploit.
+func rowRangeModel(sc Scale) (*model.Instance, []*embedding.Table, error) {
+	cfg := model.M1()
+	cfg.NumUserTables = 6
+	cfg.NumItemTables = 2
+	cfg.ItemBatch = 4
+	cfg.NumMLPLayers = 4
+	cfg.AvgMLPWidth = 64
+	cfg.TotalBytes = 32 << 20
+	inst, err := model.Build(cfg, 1, sc.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < cfg.NumUserTables; i++ {
+		inst.Tables[i].Rows = driftTableBytes / int64(inst.Tables[i].RowBytes())
+		inst.Tables[i].Alpha = 1.4 // strong row skew: hot head, cold tail
+		if i < 2 {
+			inst.Tables[i].PoolingFactor = 24
+		} else {
+			inst.Tables[i].PoolingFactor = 12
+		}
+	}
+	for i := cfg.NumUserTables; i < len(inst.Tables); i++ {
+		inst.Tables[i].Rows = (64 << 10) / int64(inst.Tables[i].RowBytes())
+	}
+	tables, err := inst.Materialize()
+	if err != nil {
+		return nil, nil, err
+	}
+	return inst, tables, nil
+}
+
+// RowRange runs the partial-table migration drill: a hot-set rotation
+// fires mid-run while two adaptive fleets — one re-placing whole tables,
+// one re-placing row ranges — recover under the same DRAM budget and
+// migration bandwidth cap. The range fleet is additionally repeated at a
+// different HostWorkers count to demonstrate the determinism contract.
+func RowRange(sc Scale) (Result, error) {
+	inst, tables, err := rowRangeModel(sc)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		qps      = 400.0
+		windows  = 16
+		drift    = 1.0 / 3
+		cappedBW = 16 << 20
+		budget   = driftTableBytes*2 + driftTableBytes/2
+	)
+	n := sc.Queries * 8
+	if n < 1600 {
+		n = 1600
+	}
+	warm := n / 2
+
+	run := func(gran adapt.Granularity, workers int) (*cluster.Result, adapt.Stats, error) {
+		scfg := engineParallelism(core.Config{
+			Seed: sc.Seed, SMTech: blockdev.NandFlash,
+			Ring: uring.Config{SGL: true}, CacheBytes: 192 << 10,
+			ReserveSM: true, MigrationRangeBytes: 256 << 10,
+			Placement: placement.Config{
+				Policy: placement.SMOnlyWithCache, UserTablesOnly: true,
+			},
+		})
+		hcfg := serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: sc.Seed}
+		hosts, err := cluster.HostSet(inst, tables, 2, &scfg, hcfg)
+		if err != nil {
+			return nil, adapt.Stats{}, err
+		}
+		adapters, err := cluster.AttachAdaptive(hosts, adapt.Config{
+			Interval:             150 * time.Millisecond,
+			DRAMBudget:           budget,
+			BandwidthBytesPerSec: cappedBW,
+			ChunkBytes:           64 << 10,
+			Granularity:          gran,
+			PaybackSeconds:       3,
+		})
+		if err != nil {
+			return nil, adapt.Stats{}, err
+		}
+		fl, err := cluster.New(hosts, cluster.NewRoundRobin(), cluster.Config{
+			Seed: sc.Seed, Windows: windows, HostWorkers: workers,
+		})
+		if err != nil {
+			return nil, adapt.Stats{}, err
+		}
+		gen, err := workload.NewGenerator(inst, workload.Config{
+			Seed: sc.Seed, NumUsers: 800, UserAlpha: 0.9, Spatial: true,
+			Drift: workload.DriftConfig{HotTables: 2, HotBoost: 4, ColdShrink: 0.25},
+		})
+		if err != nil {
+			return nil, adapt.Stats{}, err
+		}
+		fl.SetGenerator(gen)
+		// Warmup pass: caches fill and the controller converges on the
+		// pre-rotation spotlight.
+		if _, err := fl.Run(qps, warm); err != nil {
+			return nil, adapt.Stats{}, err
+		}
+		pre := cluster.AdapterStats(adapters)
+		if err := fl.ScheduleDrift(drift); err != nil {
+			return nil, adapt.Stats{}, err
+		}
+		res, err := fl.Run(qps, n)
+		if err != nil {
+			return nil, adapt.Stats{}, err
+		}
+		post := cluster.AdapterStats(adapters)
+		// Migration traffic attributable to the measured (drift) run.
+		delta := adapt.Stats{
+			Evals:         post.Evals - pre.Evals,
+			Promotions:    post.Promotions - pre.Promotions,
+			Demotions:     post.Demotions - pre.Demotions,
+			MigratedBytes: post.MigratedBytes - pre.MigratedBytes,
+			RangeMoves:    post.RangeMoves - pre.RangeMoves,
+			Aborts:        post.Aborts - pre.Aborts,
+		}
+		return res, delta, nil
+	}
+
+	var (
+		tableRes, rangeRes, rangeRes2   *cluster.Result
+		tableStats, rangeStats, rStats2 adapt.Stats
+	)
+	err = inParallel(
+		func() (err error) { tableRes, tableStats, err = run(adapt.Tables, 1); return },
+		func() (err error) { rangeRes, rangeStats, err = run(adapt.Ranges, 1); return },
+		func() (err error) { rangeRes2, rStats2, err = run(adapt.Ranges, 4); return },
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RowRangeResult{
+		TableBytes: tableStats.MigratedBytes,
+		RangeBytes: rangeStats.MigratedBytes,
+		TableMoves: tableStats.Promotions + tableStats.Demotions,
+		RangeMoves: rangeStats.Promotions + rangeStats.Demotions,
+	}
+	res.TablePre, res.TablePost, res.TableFinal = driftPhases(tableRes)
+	res.RangePre, res.RangePost, res.RangeFinal = driftPhases(rangeRes)
+	res.TableRecovery = recoveryFrac(res.TablePre, res.TablePost, res.TableFinal)
+	res.RangeRecovery = recoveryFrac(res.RangePre, res.RangePost, res.RangeFinal)
+	res.RangeServedFinal = finalWindow(rangeRes).RangeRate
+	res.WorkersDeterministic = rangeRes.String() == rangeRes2.String() &&
+		finalWindow(rangeRes) == finalWindow(rangeRes2) &&
+		rangeStats == rStats2
+
+	res.id = "rowrange"
+	res.header = fmt.Sprintf("%-16s %8s %8s %8s %10s %12s %8s %10s",
+		"granularity", "preFM%", "postFM%", "finalFM%", "recovery%", "migrated(MB)", "moves", "rngServ%")
+	row := func(name string, pre, post, final, rec float64, bytes int64, moves int, rng float64) string {
+		return fmt.Sprintf("%-16s %8.1f %8.1f %8.1f %10.1f %12.2f %8d %10.1f",
+			name, pre*100, post*100, final*100, rec*100, float64(bytes)/(1<<20), moves, rng*100)
+	}
+	res.rows = append(res.rows,
+		row("whole tables", res.TablePre, res.TablePost, res.TableFinal, res.TableRecovery,
+			res.TableBytes, res.TableMoves, 0),
+		row("row ranges", res.RangePre, res.RangePost, res.RangeFinal, res.RangeRecovery,
+			res.RangeBytes, res.RangeMoves, res.RangeServedFinal),
+	)
+	res.rows = append(res.rows, fmt.Sprintf(
+		"post-rotation migration traffic: %.2f MB at range granularity vs %.2f MB whole-table (%.0f%%) under the same %d MB/s cap",
+		float64(res.RangeBytes)/(1<<20), float64(res.TableBytes)/(1<<20),
+		100*float64(res.RangeBytes)/float64(res.TableBytes), cappedBW>>20))
+	res.rows = append(res.rows, fmt.Sprintf(
+		"range run repeated at HostWorkers=4: bit-identical=%t", res.WorkersDeterministic))
+	res.notes = append(res.notes,
+		"row popularity within a table is Zipf-skewed (spatial workload: hot rows cluster in head ranges), so most bytes of a whole-table promotion are cold",
+		"the range controller packs the hot heads of several tables into the same DRAM budget, then needs a fraction of the migration bytes to chase the rotated spotlight")
+	return res, nil
+}

@@ -1,0 +1,64 @@
+// Range-granular placement: the Table-5 greedy promotion generalized from
+// whole tables to row ranges. The offline §4.6 knapsack ranks tables by
+// bandwidth demand per byte of capacity; at range granularity the same
+// ranking runs over [lo, hi) row windows, so a DRAM budget can hold the
+// hot head of several tables instead of every byte of a few — the adapt
+// subsystem calls into PackRanges with live demand densities.
+
+package placement
+
+import "sort"
+
+// RangeItem is one knapsack candidate: a row range of a table (or, with
+// Range == WholeTable, the table as a single indivisible item — how an
+// adaptive controller scores a whole-table FM incumbent it can only demote
+// wholesale).
+type RangeItem struct {
+	Table int
+	Range int
+	// Bytes is the item's stored footprint — what it costs against the
+	// budget and what migrating it moves.
+	Bytes int64
+	// Density is the demand density ranking key (bytes/s of lookup demand
+	// per byte of capacity), hysteresis already applied by the caller.
+	Density float64
+}
+
+// WholeTable marks a RangeItem covering its entire table.
+const WholeTable = -1
+
+// PackRanges greedily selects items in decreasing density order under the
+// byte budget and returns the indices of the selected items (in selection
+// order). Zero-density items are never selected; ties break on (Table,
+// Range) so the result is deterministic for any input order. Items too
+// large for the remaining budget are skipped, not truncated — exactly the
+// Table-5 greedy, at whatever granularity the items carry.
+func PackRanges(items []RangeItem, budget int64) []int {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		if ia.Density != ib.Density {
+			return ia.Density > ib.Density
+		}
+		if ia.Table != ib.Table {
+			return ia.Table < ib.Table
+		}
+		return ia.Range < ib.Range
+	})
+	var out []int
+	remaining := budget
+	for _, i := range order {
+		it := items[i]
+		if it.Density <= 0 {
+			break
+		}
+		if it.Bytes <= remaining {
+			out = append(out, i)
+			remaining -= it.Bytes
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPackRangesGreedyOrder(t *testing.T) {
+	items := []RangeItem{
+		{Table: 0, Range: 0, Bytes: 100, Density: 5},
+		{Table: 0, Range: 1, Bytes: 100, Density: 1},
+		{Table: 1, Range: 0, Bytes: 100, Density: 9},
+		{Table: 1, Range: WholeTable, Bytes: 300, Density: 3},
+	}
+	got := PackRanges(items, 350)
+	// Density order: 9, 5, then the whole-table item (300 bytes) exceeds
+	// the remaining 150 — the greedy skips (not truncates) it and still
+	// takes the density-1 range behind it.
+	want := []int{2, 0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("selection %v, want %v", got, want)
+	}
+}
+
+func TestPackRangesDeterministicTies(t *testing.T) {
+	mk := func() []RangeItem {
+		return []RangeItem{
+			{Table: 2, Range: 1, Bytes: 10, Density: 4},
+			{Table: 1, Range: 0, Bytes: 10, Density: 4},
+			{Table: 1, Range: 2, Bytes: 10, Density: 4},
+		}
+	}
+	got := PackRanges(mk(), 20)
+	// Ties break (Table, Range) ascending regardless of input order.
+	want := []int{1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("selection %v, want %v", got, want)
+	}
+	shuffled := []RangeItem{mk()[2], mk()[0], mk()[1]}
+	got2 := PackRanges(shuffled, 20)
+	for i, idx := range got2 {
+		if shuffled[idx] != mk()[want[i]] {
+			t.Fatalf("tie-break not input-order independent: %v", got2)
+		}
+	}
+}
+
+func TestPackRangesEdges(t *testing.T) {
+	if got := PackRanges(nil, 100); len(got) != 0 {
+		t.Fatalf("empty items selected %v", got)
+	}
+	items := []RangeItem{
+		{Table: 0, Range: 0, Bytes: 10, Density: 0},
+		{Table: 0, Range: 1, Bytes: 10, Density: -1},
+	}
+	if got := PackRanges(items, 100); len(got) != 0 {
+		t.Fatalf("zero/negative density selected %v", got)
+	}
+	items[0].Density = 1
+	if got := PackRanges(items, 0); len(got) != 0 {
+		t.Fatalf("zero budget selected %v", got)
+	}
+	if got := PackRanges(items, 9); len(got) != 0 {
+		t.Fatalf("budget below smallest item selected %v", got)
+	}
+}

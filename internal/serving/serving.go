@@ -475,9 +475,12 @@ type CacheSnapshot struct {
 	SMReads      uint64
 	// Lookups counts store row lookups and FMDirectReads the subset served
 	// by FM-direct tables, so deltas can attribute lookups to tiers even
-	// as adaptive placement moves tables between them.
+	// as adaptive placement moves tables between them. RangeFMReads is the
+	// sub-subset served by FM-resident row ranges (partial-table
+	// promotions) rather than whole FM tables.
 	Lookups       uint64
 	FMDirectReads uint64
+	RangeFMReads  uint64
 	CPUBooked     time.Duration
 }
 
@@ -491,6 +494,7 @@ func (s CacheSnapshot) Sub(o CacheSnapshot) CacheSnapshot {
 		SMReads:       s.SMReads - o.SMReads,
 		Lookups:       s.Lookups - o.Lookups,
 		FMDirectReads: s.FMDirectReads - o.FMDirectReads,
+		RangeFMReads:  s.RangeFMReads - o.RangeFMReads,
 		CPUBooked:     s.CPUBooked - o.CPUBooked,
 	}
 }
@@ -505,6 +509,7 @@ func (s CacheSnapshot) Add(o CacheSnapshot) CacheSnapshot {
 		SMReads:       s.SMReads + o.SMReads,
 		Lookups:       s.Lookups + o.Lookups,
 		FMDirectReads: s.FMDirectReads + o.FMDirectReads,
+		RangeFMReads:  s.RangeFMReads + o.RangeFMReads,
 		CPUBooked:     s.CPUBooked + o.CPUBooked,
 	}
 }
@@ -529,6 +534,16 @@ func (s CacheSnapshot) FMServedRate() float64 {
 	return 1 - float64(s.SMReads)/float64(s.Lookups)
 }
 
+// RangeServedRate returns the fraction of store row lookups served from
+// FM-resident row ranges — the share of the FM-served rate that
+// partial-table promotion alone contributes.
+func (s CacheSnapshot) RangeServedRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.RangeFMReads) / float64(s.Lookups)
+}
+
 // Snapshot captures the host's cumulative cache and IO counters. Hosts
 // without a store report only the booked CPU.
 func (h *Host) Snapshot() CacheSnapshot {
@@ -542,6 +557,7 @@ func (h *Host) Snapshot() CacheSnapshot {
 		s.SMReads = st.SMReads
 		s.Lookups = st.Lookups
 		s.FMDirectReads = st.FMDirectReads
+		s.RangeFMReads = st.RangeFMReads
 	}
 	return s
 }

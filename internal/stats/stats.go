@@ -98,8 +98,15 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
-// Quantile returns the value at quantile q in [0, 1], approximated to the
-// histogram's bucket resolution. Returns 0 for an empty histogram.
+// Quantile returns the value at quantile q in [0, 1] under the
+// nearest-rank definition — the smallest observation whose cumulative
+// count reaches ceil(q·n) — approximated to the histogram's bucket
+// resolution. Returns 0 for an empty histogram.
+//
+// An earlier revision computed the rank as floor(q·n) and scanned with a
+// strict inequality, selecting the (k+1)-th ordered sample: P99 of exactly
+// 100 samples returned the 100th (the max), inflating every reported tail
+// latency by one order statistic.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.counts == 0 {
 		return 0
@@ -110,11 +117,18 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q >= 1 {
 		return h.max
 	}
-	target := uint64(q * float64(h.counts))
+	// ceil(q·n), guarded against float error pushing an exact product
+	// (0.9 × 10 evaluates just above 9.0) onto the next integer. The
+	// guard is relative — an absolute epsilon stops covering the
+	// product's ulp once n passes ~1e7.
+	rank := uint64(math.Ceil(q * float64(h.counts) * (1 - 1e-12)))
+	if rank < 1 {
+		rank = 1
+	}
 	var cum uint64
 	for i, c := range h.buckets {
 		cum += c
-		if cum > target {
+		if cum >= rank {
 			v := h.bucketValue(i)
 			if v < h.min {
 				v = h.min

@@ -215,3 +215,97 @@ func TestP999Ordering(t *testing.T) {
 		t.Fatalf("p999 %g should exceed p95 %g on a uniform ramp", h.P999(), h.P95())
 	}
 }
+
+func TestQuantileNearestRank(t *testing.T) {
+	// Regression: the rank used to be computed as floor(q·n) with a
+	// strict-inequality scan, selecting the (k+1)-th ordered sample —
+	// P99 of exactly 100 samples returned the 100th (the max). Pin the
+	// nearest-rank (ceil(q·n)) order statistics for small fixed samples,
+	// to the histogram's ~2% bucket resolution.
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	pin := func(q, want float64) {
+		t.Helper()
+		got := h.Quantile(q)
+		if math.Abs(got-want) > 0.025*want {
+			t.Fatalf("q%g = %g, want %g ± 2.5%%", q, got, want)
+		}
+	}
+	pin(0.50, 50) // ceil(50.0) = 50th sample (the old code returned the 51st)
+	pin(0.95, 95) // ceil(95.0) = 95th
+	pin(0.99, 99) // ceil(99.0) = 99th — NOT the max
+	if got := h.Quantile(0.99); got >= 100 {
+		t.Fatalf("P99 of 100 samples returned the max (%g): off-by-one regressed", got)
+	}
+	// ceil(99.9) = 100th: the max exactly (clamped, not bucket-rounded).
+	if got := h.Quantile(0.999); got != 100 {
+		t.Fatalf("P999 of 100 samples = %g, want the max (100)", got)
+	}
+
+	// A 4-sample histogram exercises the ranks directly.
+	s := NewHistogram()
+	for _, v := range []float64{10, 20, 30, 40} {
+		s.Observe(v)
+	}
+	for _, c := range []struct{ q, want float64 }{
+		{0.25, 10}, // ceil(1.0) = 1st
+		{0.50, 20}, // ceil(2.0) = 2nd (old: 3rd = 30)
+		{0.51, 30}, // ceil(2.04) = 3rd
+		{0.75, 30}, // ceil(3.0) = 3rd
+		{0.76, 40}, // ceil(3.04) = 4th
+	} {
+		got := s.Quantile(c.q)
+		if math.Abs(got-c.want) > 0.025*c.want {
+			t.Fatalf("4-sample q%g = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// Exact-product float hazard: 0.9 × 10 evaluates just above 9.0; the
+	// rank must still be 9, not 10.
+	d := NewHistogram()
+	for i := 1; i <= 10; i++ {
+		d.Observe(float64(i))
+	}
+	if got := d.Quantile(0.9); math.Abs(got-9) > 0.25 {
+		t.Fatalf("q0.9 of 10 samples = %g, want the 9th (9)", got)
+	}
+	// A single observation is every quantile.
+	one := NewHistogram()
+	one.Observe(7)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := one.Quantile(q); got != 7 {
+			t.Fatalf("single-sample q%g = %g, want 7", q, got)
+		}
+	}
+}
+
+func TestResetAndMergeRestoreSentinels(t *testing.T) {
+	// Reset must restore the ±Inf min/max sentinels so the next Observe
+	// (or Merge) re-establishes true extrema, and merging an empty
+	// histogram must not leak a sentinel into Min/Max.
+	h := NewHistogram()
+	h.Observe(100)
+	h.Reset()
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty accessors after Reset: min=%g max=%g", h.Min(), h.Max())
+	}
+	h.Observe(5)
+	if h.Min() != 5 || h.Max() != 5 {
+		t.Fatalf("sentinels not restored by Reset: min=%g max=%g", h.Min(), h.Max())
+	}
+	o := NewHistogram()
+	o.Reset() // reset-then-merge: still a clean empty histogram
+	h.Merge(o)
+	if h.Min() != 5 || h.Max() != 5 || h.Count() != 1 {
+		t.Fatalf("merging a reset histogram corrupted extrema: %s", h)
+	}
+	o.Observe(3)
+	h.Merge(o)
+	if h.Min() != 3 || h.Max() != 5 {
+		t.Fatalf("merge extrema wrong: min=%g max=%g", h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); math.Abs(q-3) > 0.1 {
+		t.Fatalf("median of {3,5} = %g, want 3 (nearest rank)", q)
+	}
+}

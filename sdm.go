@@ -147,16 +147,23 @@ type (
 // workloads drift via WorkloadConfig.Drift; fleets rotate their hot set
 // mid-run with Fleet.ScheduleDrift.
 type (
-	// AdaptConfig tunes an Adapter (interval, DRAM budget, bandwidth cap).
+	// AdaptConfig tunes an Adapter (interval, DRAM budget, bandwidth cap,
+	// granularity); AdaptConfig.Validate reports errors in it.
 	AdaptConfig = adapt.Config
+	// AdaptGranularity selects whole-table or row-range re-placement.
+	AdaptGranularity = adapt.Granularity
 	// Adapter is the per-host adaptive-tiering control loop.
 	Adapter = adapt.Adapter
 	// AdaptStats counts evaluations, migrations and migrated bytes.
 	AdaptStats = adapt.Stats
 	// TableTelemetry is one table's decayed live-traffic view.
 	TableTelemetry = adapt.TableTelemetry
+	// RangeTelemetry is one row range's decayed live-traffic view.
+	RangeTelemetry = adapt.RangeTelemetry
 	// TableStat is one table's raw runtime counters from the store.
 	TableStat = core.TableStat
+	// RangeStat is one row range's raw runtime counters from the store.
+	RangeStat = core.RangeStat
 	// DriftConfig makes a workload non-stationary (hot-set rotation,
 	// diurnal user-mix shift, flash crowds).
 	DriftConfig = workload.DriftConfig
@@ -208,6 +215,14 @@ const (
 const (
 	UpdateOffline = core.UpdateOffline
 	UpdateOnline  = core.UpdateOnline
+)
+
+// Adaptive re-placement granularities: whole tables (the Table-5 greedy
+// verbatim) or hot row ranges (partial-table migration — move rows, not
+// tables).
+const (
+	AdaptTables = adapt.Tables
+	AdaptRanges = adapt.Ranges
 )
 
 // Placement policies (Table 5).
