@@ -3,7 +3,7 @@
 GO ?= go
 REV ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet fmt-check test race bench bench-json bench-diff ci
+.PHONY: all build vet fmt-check test race bench bench-json bench-diff bench-gate print-bench-gated ci
 
 all: build test
 
@@ -48,5 +48,18 @@ bench-diff:
 		echo "expected exactly one committed BENCH_*.json baseline, got: '$(BENCH_BASELINE)'" >&2; exit 1; }
 	$(GO) run ./cmd/sdmbench -json all > bench-current.json
 	$(GO) run ./cmd/benchdiff $(BENCH_DIFF_FLAGS) $(BENCH_BASELINE) bench-current.json
+
+# The experiment ids CI gates at 10% (query-engine and cluster benchmarks;
+# the adapt drills drift/rowrange/coord stay warn-only). This is the single
+# source of truth — the CI workflow reads it via `make -s print-bench-gated`.
+BENCH_GATED = fig1,tab1,fig3,tab2,fig4,fig5,fig6,tab3,tab4,tab8,tab9,tab10,tab11,cluster,sgl,mmap,deprune,dequant,interop,polling,warmup,update
+
+print-bench-gated:
+	@echo $(BENCH_GATED)
+
+# The CI gate, runnable locally: fails on >10% regressions of the gated
+# benchmarks against the committed baseline.
+bench-gate:
+	$(MAKE) bench-diff BENCH_DIFF_FLAGS="-tol 10 -fail-on $(BENCH_GATED)"
 
 ci: build vet fmt-check test race bench

@@ -6,14 +6,17 @@
 //
 // Usage:
 //
-//	benchdiff [-tol pct] [-fail-on-change] baseline.json current.json
+//	benchdiff [-tol pct] [-fail-on-change] [-fail-on ids] baseline.json current.json
 //
 // Rows are matched positionally within each experiment. When a row's
 // non-numeric skeleton is unchanged, every embedded number is compared and
 // the worst relative delta reported; rows whose shape changed (or that
 // were added/removed) are shown verbatim. The default exit status is 0
-// regardless of drift — CI runs it warn-only — while -fail-on-change turns
-// any delta beyond -tol into exit 1 for local bisecting.
+// regardless of drift, -fail-on-change turns any delta beyond -tol into
+// exit 1 for local bisecting, and -fail-on gates a named subset: CI fails
+// on >10% regressions of the query-engine and cluster benchmarks while
+// the adapt drills (drift/rowrange/coord) stay warn-only, since those are
+// the rows a PR is usually *meant* to move.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 
 	"sdm/internal/experiments"
 )
@@ -41,6 +45,7 @@ func run(args []string) error {
 	var (
 		tol    = fs.Float64("tol", 2.0, "relative delta (in %) below which a number counts as unchanged")
 		strict = fs.Bool("fail-on-change", false, "exit non-zero when any benchmark drifted beyond -tol")
+		failOn = fs.String("fail-on", "", "comma-separated experiment ids whose drift beyond -tol (or addition/removal) fails the run; other ids stay warn-only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,21 +66,35 @@ func run(args []string) error {
 		return err
 	}
 
+	gated := map[string]bool{}
+	for _, id := range strings.Split(*failOn, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			gated[id] = true
+		}
+	}
+
 	baseByID := make(map[string]experiments.Report, len(base))
 	for _, r := range base {
 		baseByID[r.ID] = r
 	}
 	changed, unchanged, added := 0, 0, 0
+	var gatedDrift []string
 	for _, c := range cur {
 		b, ok := baseByID[c.ID]
 		if !ok {
 			added++
 			fmt.Printf("== %-10s new benchmark (%d rows)\n", c.ID, len(c.Rows))
+			if gated[c.ID] {
+				gatedDrift = append(gatedDrift, c.ID)
+			}
 			continue
 		}
 		delete(baseByID, c.ID)
 		if d := diffReport(b, c, *tol); d > 0 {
 			changed++
+			if gated[c.ID] {
+				gatedDrift = append(gatedDrift, c.ID)
+			}
 		} else {
 			unchanged++
 		}
@@ -87,9 +106,17 @@ func run(args []string) error {
 	sort.Strings(removed)
 	for _, id := range removed {
 		fmt.Printf("== %-10s removed from current run\n", id)
+		if gated[id] {
+			gatedDrift = append(gatedDrift, id)
+		}
 	}
 	fmt.Printf("\n%d changed, %d unchanged, %d added, %d removed (tolerance %.1f%%)\n",
 		changed, unchanged, added, len(baseByID), *tol)
+	if len(gatedDrift) > 0 {
+		sort.Strings(gatedDrift)
+		return fmt.Errorf("gated benchmarks drifted beyond %.1f%%: %s (re-baseline deliberately if intended)",
+			*tol, strings.Join(gatedDrift, ", "))
+	}
 	if *strict && (changed > 0 || added > 0 || len(baseByID) > 0) {
 		return fmt.Errorf("benchmarks drifted beyond %.1f%%", *tol)
 	}

@@ -8,7 +8,8 @@
 //	sdmcluster [-hosts n] [-policy rr|loq|sticky|all] [-qps q] [-queries n]
 //	           [-fail id] [-failfrac f] [-warm] [-workers w] [-seed s]
 //	           [-scale f] [-json]
-//	           [-drift f] [-adapt] [-hottables k] [-migbw bytes/s]
+//	           [-drift f] [-adapt] [-hottables k] [-itemtables k] [-migbw bytes/s]
+//	           [-coord] [-slot d] [-wear days/s]
 //
 // Examples:
 //
@@ -17,6 +18,9 @@
 //	sdmcluster -hottables 2 -drift 0.5 -adapt
 //	                                       # rotate the hot set mid-run and
 //	                                       # let each host re-place tables
+//	sdmcluster -hottables 2 -drift 0.5 -adapt -grain range -coord -wear 0.01
+//	                                       # …with staggered migration windows
+//	                                       # and wear-aware packing fleet-wide
 //
 // Virtual-time results are bit-identical for a fixed seed at any -workers
 // value; the flag only changes wall-clock time.
@@ -72,6 +76,10 @@ func run(args []string) error {
 		hyst     = fs.Float64("hysteresis", 0, "incumbent advantage before a swap is scheduled (>= 1; 0 = default 1.3)")
 		smooth   = fs.Float64("smoothing", 0, "telemetry EWMA weight of the newest window in [0, 1] (0 = default 0.5)")
 		payback  = fs.Float64("payback", 0, "range-mode payback horizon in seconds (0 = default 10)")
+		coordOn  = fs.Bool("coord", false, "stagger the fleet's migration windows (requires -adapt): one shared bandwidth cap and wear budget instead of lockstep migration")
+		slot     = fs.Duration("slot", 0, "coordinated migration window width per replica (0 = default 50ms)")
+		wear     = fs.Float64("wear", 0, "wear-aware packing: rated endurance days accrued per virtual second (0 = wear-unaware)")
+		itemTabs = fs.Int("itemtables", 0, "spotlight item tables per drift phase (0 = stationary item side)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +98,7 @@ func run(args []string) error {
 		Smoothing:            *smooth,
 		Granularity:          granularity,
 		PaybackSeconds:       *payback,
+		WearDaysPerSecond:    *wear,
 	}
 	switch {
 	case *hosts <= 0:
@@ -112,6 +121,12 @@ func run(args []string) error {
 		return fmt.Errorf("-drift must be in [0, 1], got %g", *drift)
 	case *hotTabs < 0:
 		return fmt.Errorf("-hottables must be >= 0, got %d", *hotTabs)
+	case *itemTabs < 0:
+		return fmt.Errorf("-itemtables must be >= 0, got %d", *itemTabs)
+	case *coordOn && !*adaptOn:
+		return fmt.Errorf("-coord requires -adapt")
+	case *slot < 0:
+		return fmt.Errorf("-slot must be >= 0 (0 = default 50ms), got %v", *slot)
 	}
 	// The adapt subsystem owns the contract for its own knobs (-migbw,
 	// -hysteresis, -smoothing, -payback): surface its validation errors at
@@ -161,8 +176,8 @@ func run(args []string) error {
 	}
 	hcfg := serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: *seed}
 	wcfg := workload.Config{Seed: *seed, NumUsers: *users, UserAlpha: 0.8}
-	if *hotTabs > 0 {
-		wcfg.Drift = workload.DriftConfig{HotTables: *hotTabs}
+	if *hotTabs > 0 || *itemTabs > 0 {
+		wcfg.Drift = workload.DriftConfig{HotTables: *hotTabs, HotItemTables: *itemTabs}
 	}
 
 	var reports []map[string]any
@@ -173,7 +188,14 @@ func run(args []string) error {
 		}
 		var adapters []*adapt.Adapter
 		if *adaptOn {
-			adapters, err = cluster.AttachAdaptive(hs, acfg)
+			if *coordOn {
+				adapters, _, err = cluster.AttachCoordinated(hs, acfg, cluster.CoordConfig{
+					Slot:                 *slot,
+					BandwidthBytesPerSec: *migBW,
+				})
+			} else {
+				adapters, err = cluster.AttachAdaptive(hs, acfg)
+			}
 			if err != nil {
 				return err
 			}
@@ -260,7 +282,12 @@ func jsonReport(r *cluster.Result) map[string]any {
 			"id": h.ID, "alive": h.Alive, "queries": h.Queries,
 			"qps": h.AchievedQPS, "p99_ms": h.Latency.P99() * 1e3,
 			"hit_rate": h.HitRate, "sm_reads": h.SMReads,
+			"sm_write_bytes": h.SMWriteBytes, "dwpd_util": h.DWPDUtil,
 		}
+	}
+	var lifetime uint64
+	for _, h := range r.Hosts {
+		lifetime += h.LifetimeSMWrites
 	}
 	out := map[string]any{
 		"policy": r.Policy, "offered_qps": r.OfferedQPS, "achieved_qps": r.AchievedQPS,
@@ -268,7 +295,9 @@ func jsonReport(r *cluster.Result) map[string]any {
 		"range_served_rate": r.RangeServedRate,
 		"p50_ms":            r.Latency.P50() * 1e3, "p95_ms": r.Latency.P95() * 1e3,
 		"p99_ms": r.Latency.P99() * 1e3, "p999_ms": r.Latency.P999() * 1e3,
-		"hosts": hosts,
+		"sm_write_bytes": r.SMWriteBytes, "lifetime_sm_write_bytes": lifetime,
+		"dwpd_util": r.DWPDUtil,
+		"hosts":     hosts,
 	}
 	if r.DriftFired {
 		out["drift_at_s"] = r.DriftAt.Seconds()

@@ -4,7 +4,11 @@
 // drift-aware re-placement, bandwidth-capped FM↔SM migration — recover
 // their fast-memory hit rate. Two adaptive granularities run side by side:
 // whole-table swaps, and hot-row-range migration, which reaches the same
-// FM-served rate while moving a fraction of the bytes.
+// FM-served rate while moving a fraction of the bytes. A fourth,
+// two-replica run adds fleet coordination: staggered migration windows
+// under one shared bandwidth cap plus wear-aware packing against the §3
+// endurance budget, with the fleet's SM write spend and projected DWPD
+// utilization reported alongside.
 package main
 
 import (
@@ -54,8 +58,13 @@ func main() {
 		static = iota
 		byTable
 		byRange
+		coordinated
 	)
 	run := func(mode int) (*sdm.FleetResult, sdm.AdaptStats) {
+		nHosts := 1
+		if mode == coordinated {
+			nHosts = 2
+		}
 		scfg := sdm.Config{
 			Seed:                42,
 			SMTech:              sdm.NandFlash,
@@ -69,7 +78,7 @@ func main() {
 				DRAMBudget:     perTable*2 + perTable/2,
 			},
 		}
-		hosts, err := sdm.NewFleetHosts(inst, tables, 1, &scfg, sdm.HostConfig{
+		hosts, err := sdm.NewFleetHosts(inst, tables, nHosts, &scfg, sdm.HostConfig{
 			Spec: sdm.HWSS(), InterOp: true, Seed: 42,
 		})
 		if err != nil {
@@ -78,16 +87,28 @@ func main() {
 		var adapters []*sdm.Adapter
 		if mode != static {
 			gran := sdm.AdaptTables
-			if mode == byRange {
+			if mode == byRange || mode == coordinated {
 				gran = sdm.AdaptRanges
 			}
-			adapters, err = sdm.AttachAdaptive(hosts, sdm.AdaptConfig{
+			acfg := sdm.AdaptConfig{
 				Interval:             150 * time.Millisecond,
 				BandwidthBytesPerSec: 8 << 20, // the migration bandwidth cap
 				ChunkBytes:           32 << 10,
 				Granularity:          gran,
 				PaybackSeconds:       3,
-			})
+			}
+			if mode == coordinated {
+				// Staggered migration windows: the replicas take turns under
+				// one shared cap, and the packing greedy discounts churny
+				// candidates against the shared §3 endurance budget.
+				acfg.WearDaysPerSecond = 0.01
+				adapters, _, err = sdm.AttachCoordinated(hosts, acfg, sdm.CoordConfig{
+					Slot:                 50 * time.Millisecond,
+					BandwidthBytesPerSec: 8 << 20,
+				})
+			} else {
+				adapters, err = sdm.AttachAdaptive(hosts, acfg)
+			}
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -120,21 +141,27 @@ func main() {
 	staticRes, _ := run(static)
 	tableRes, tableStats := run(byTable)
 	rangeRes, rangeStats := run(byRange)
+	coordRes, coordStats := run(coordinated)
 
 	fmt.Printf("hot-set rotation at t=%.2fs — FM-served rate per window:\n", tableRes.DriftAt.Seconds())
-	fmt.Printf("%-8s %10s %12s %12s\n", "window", "static", "by-table", "by-range")
+	fmt.Printf("%-8s %10s %12s %12s %12s\n", "window", "static", "by-table", "by-range", "coord(2x)")
 	for i := range staticRes.Windows {
-		fmt.Printf("w%-7d %9.1f%% %11.1f%% %11.1f%%\n", i,
-			staticRes.Windows[i].FMRate*100, tableRes.Windows[i].FMRate*100, rangeRes.Windows[i].FMRate*100)
+		fmt.Printf("w%-7d %9.1f%% %11.1f%% %11.1f%% %11.1f%%\n", i,
+			staticRes.Windows[i].FMRate*100, tableRes.Windows[i].FMRate*100,
+			rangeRes.Windows[i].FMRate*100, coordRes.Windows[i].FMRate*100)
 	}
 	fmt.Printf("\nby-table control loop: %s\n", tableStats)
 	fmt.Printf("by-range control loop: %s\n", rangeStats)
+	fmt.Printf("coordinated fleet:     %s\n", coordStats)
 	fmt.Printf("by-range moved %.1f%% of the by-table migration bytes (same bandwidth cap)\n",
 		100*float64(rangeStats.MigratedBytes)/float64(tableStats.MigratedBytes))
 	last := len(staticRes.Windows) - 1
 	fmt.Printf("final-window range-served rate: %.1f%% of lookups from FM-resident ranges\n",
 		rangeRes.Windows[last].RangeRate*100)
+	fmt.Printf("coordinated fleet wear: %.2f MB SM writes, projected DWPD utilization %.3f\n",
+		float64(coordRes.SMWriteBytes)/(1<<20), coordRes.DWPDUtil)
 	fmt.Printf("static   final p99 = %.2fms\n", staticRes.Windows[last].P99*1e3)
 	fmt.Printf("by-table final p99 = %.2fms\n", tableRes.Windows[last].P99*1e3)
 	fmt.Printf("by-range final p99 = %.2fms\n", rangeRes.Windows[last].P99*1e3)
+	fmt.Printf("coord    final p99 = %.2fms\n", coordRes.Windows[last].P99*1e3)
 }

@@ -6,9 +6,10 @@ import (
 	"sort"
 	"time"
 
-	"sdm/internal/core"
 	"sdm/internal/placement"
 	"sdm/internal/simclock"
+
+	"sdm/internal/core"
 )
 
 // Granularity selects what the controller moves between FM and SM.
@@ -77,6 +78,17 @@ type Config struct {
 	// exact waste range granularity exists to avoid. 0 selects 10s;
 	// ignored at table granularity.
 	PaybackSeconds float64
+	// WearDaysPerSecond compresses the §3 endurance budget onto the
+	// virtual timeline for wear-aware placement: each virtual second
+	// accrues the SM demote-write budget of this many rated days
+	// (EnduranceDWPD × SM capacity × remaining rated-life fraction, per
+	// core.WearInfo). The resulting per-eval-window budget both discounts
+	// churny candidates in the packing greedy and caps the demote bytes
+	// the actuator issues per window. 0 disables wear awareness (the
+	// pre-wear behavior, bit-identical). Drift drills compress days of
+	// traffic into virtual seconds, so values near 1 make the budget
+	// binding at experiment scale.
+	WearDaysPerSecond float64
 }
 
 // Validate reports configuration errors. Earlier revisions silently
@@ -102,6 +114,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("adapt: unknown granularity %d", int(c.Granularity))
 	case c.PaybackSeconds < 0:
 		return fmt.Errorf("adapt: PaybackSeconds must be >= 0 (0 selects 10s), got %g", c.PaybackSeconds)
+	case c.WearDaysPerSecond < 0:
+		return fmt.Errorf("adapt: WearDaysPerSecond must be >= 0 (0 disables wear awareness), got %g", c.WearDaysPerSecond)
 	}
 	return nil
 }
@@ -148,55 +162,29 @@ func (s Stats) String() string {
 		s.Evals, s.Promotions, s.Demotions, s.RangeMoves, s.Aborts, s.MigratedBytes)
 }
 
-// migJob is one queued placement move: a whole table, or the row window
-// [lo, hi) of one.
-type migJob struct {
-	table   int
-	promote bool
-	ranged  bool
-	lo, hi  int64
-}
-
-// migration is the slice of core.Migration the pacing loop drives,
-// narrowed to an interface so regression tests can substitute
-// failure-injecting fakes.
-type migration interface {
-	Step(now simclock.Time) (int, simclock.Time, error)
-	Finished() bool
-	Done() simclock.Time
-	Commit() error
-	Abort()
-	BytesMoved() int64
-}
-
-// activeMig paces one in-flight migration.
-type activeMig struct {
-	job       migJob
-	m         migration
-	nextIssue simclock.Time
-}
-
-// Adapter is the per-host adaptive-tiering control loop: it samples
-// telemetry on the host's admission stream, periodically re-evaluates the
-// Table-5 placement against live demand (over whole tables or row ranges,
-// per Config.Granularity), and drives bandwidth-capped FM↔SM migrations on
-// the virtual timeline. It implements serving.Tuner; install it with
-// Host.SetTuner. Not safe for concurrent use — each host owns one Adapter,
-// mirroring the one-store-per-host discipline.
+// Adapter is the per-host adaptive-tiering control loop, composed of the
+// two layers the policy/actuator split separates: a pure Policy that
+// turns telemetry into a ranked move plan (wear-aware when
+// Config.WearDaysPerSecond is set), and an Actuator that owns the
+// Begin/Step/Commit/Abort migration machinery, pacing chunks under the
+// bandwidth cap — and, when a fleet coordinator installs a window
+// schedule (SetWindows), only inside this replica's granted migration
+// windows. It implements serving.Tuner; install it with Host.SetTuner.
+// Not safe for concurrent use — each host owns one Adapter, mirroring the
+// one-store-per-host discipline.
 type Adapter struct {
 	cfg   Config
 	store *core.Store
 	telem *Telemetry
 
-	budget   int64
+	pol *Policy
+	act *Actuator
+
 	nextEval simclock.Time
-	queue    []migJob
-	active   *activeMig
 	stats    Stats
 
-	// scratch buffers reused across evaluations.
-	cands []rangeCand
-	items []placement.RangeItem
+	// pending is the scratch buffer the busy set is collected into.
+	pending []Move
 }
 
 // New builds an Adapter over a store opened with core.Config.ReserveSM.
@@ -225,14 +213,58 @@ func New(store *core.Store, cfg Config) (*Adapter, error) {
 	if !swappable {
 		return nil, errors.New("adapt: store has no swappable tables (open it with core.Config.ReserveSM)")
 	}
-	return &Adapter{
+	a := &Adapter{
 		cfg:      cfg,
 		store:    store,
 		telem:    NewTelemetry(cfg.Smoothing),
-		budget:   budget,
+		pol:      NewPolicy(cfg, budget),
 		nextEval: store.LoadDone() + simclock.Time(cfg.Interval),
-	}, nil
+	}
+	a.act = NewActuator(store, cfg.ChunkBytes, cfg.BandwidthBytesPerSec, &a.stats)
+	if cfg.WearDaysPerSecond > 0 {
+		// Ungoverned wear awareness: slice this host's own timeline into
+		// contiguous eval-interval windows so the demote budget applies
+		// per window even without a fleet coordinator.
+		a.act.SetWindows(a.selfWindows)
+	}
+	return a, nil
 }
+
+// selfWindows is the ungoverned window schedule: contiguous
+// eval-interval-wide windows with the endurance-derived demote budget
+// (no gaps, so pacing is unchanged — only the per-window write budget
+// binds).
+func (a *Adapter) selfWindows(now simclock.Time) Window {
+	iv := simclock.Time(a.cfg.Interval)
+	open := now / iv * iv
+	return Window{
+		Open:              open,
+		Close:             open + iv,
+		DemoteBudgetBytes: a.windowDemoteBudget(),
+	}
+}
+
+// windowDemoteBudget derives one window's SM demote-write allowance from
+// the device endurance model: the DWPD rating scaled by remaining rated
+// life (core.WearInfo.DailyWriteBudgetBytes), compressed onto the virtual
+// timeline by Config.WearDaysPerSecond. Wear awareness is enabled
+// (WearDaysPerSecond > 0), so a budget that rounds below one byte clamps
+// to 1 — the tightest enforceable budget — rather than truncating to the
+// "unbudgeted" sentinel and disabling enforcement exactly where it
+// should bind hardest.
+func (a *Adapter) windowDemoteBudget() int64 {
+	b := int64(a.store.Wear().DailyWriteBudgetBytes() *
+		a.cfg.WearDaysPerSecond * a.cfg.Interval.Seconds())
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// SetWindows installs a fleet coordinator's migration window schedule on
+// the actuator (replacing the ungoverned wear windows, if any). The
+// schedule must be a pure function of virtual time — see WindowFn.
+func (a *Adapter) SetWindows(fn WindowFn) { a.act.SetWindows(fn) }
 
 // Telemetry exposes the decayed per-table and per-range view (for
 // experiments and CLIs).
@@ -241,20 +273,20 @@ func (a *Adapter) Telemetry() *Telemetry { return a.telem }
 // Stats returns what the adapter has done so far.
 func (a *Adapter) Stats() Stats { return a.stats }
 
+// Policy returns the planning layer (for tests and introspection).
+func (a *Adapter) Policy() *Policy { return a.pol }
+
+// Actuator returns the execution layer (for tests and introspection).
+func (a *Adapter) Actuator() *Actuator { return a.act }
+
 // PendingMigrations returns queued plus in-flight move count.
-func (a *Adapter) PendingMigrations() int {
-	n := len(a.queue)
-	if a.active != nil {
-		n++
-	}
-	return n
-}
+func (a *Adapter) PendingMigrations() int { return a.act.Pending() }
 
 // BeforeAdmit implements serving.Tuner: it advances migration pacing and,
 // on interval boundaries, re-evaluates placement. It runs before the
 // query executes, so a committed swap is visible to the very next query.
 func (a *Adapter) BeforeAdmit(now simclock.Time) {
-	a.advance(now)
+	a.act.Advance(now)
 	if now < a.nextEval {
 		return
 	}
@@ -266,372 +298,72 @@ func (a *Adapter) BeforeAdmit(now simclock.Time) {
 	a.telem.Sample(now, a.store)
 	a.stats.Evals++
 	a.stats.LastEval = now
-	if a.cfg.Granularity == Ranges {
-		a.evaluateRanges()
-	} else {
-		a.evaluateTables()
+
+	// The busy set is collected before reconciliation: a move the fresh
+	// plan is about to drop still blocks re-planning its table this eval
+	// (its slot frees by the next one).
+	a.pending = a.act.AppendPending(a.pending[:0])
+	plan := a.pol.Plan(a.telem, a.store, a.pending, a.wearBudget(now))
+	a.act.Reconcile(a.agreesWith(plan))
+	a.act.Enqueue(plan.Moves)
+	a.act.Advance(now)
+}
+
+// wearBudget assembles the packing greedy's endurance constraint from the
+// actuator's current window: its demote allowance and what this window
+// has already written.
+func (a *Adapter) wearBudget(now simclock.Time) placement.WearBudget {
+	w, ok := a.act.WindowAt(now)
+	if !ok || w.DemoteBudgetBytes <= 0 {
+		return placement.WearBudget{}
 	}
-	a.advance(now)
+	return placement.WearBudget{
+		WindowBytes: w.DemoteBudgetBytes,
+		SpentBytes:  a.act.SpentInWindow(w),
+	}
+}
+
+// agreesWith returns the reconciliation predicate for a fresh plan: a
+// queued move survives only if the plan still wants every table or range
+// it covers moved in its direction.
+func (a *Adapter) agreesWith(plan Plan) func(Move) bool {
+	return func(j Move) bool {
+		if !j.Ranged {
+			return plan.DesiredWhole[j.Table] == j.Promote
+		}
+		rr := a.store.RangeRowsOf(j.Table)
+		if rr <= 0 {
+			return false
+		}
+		for r := j.Lo / rr; r*rr < j.Hi; r++ {
+			if plan.DesiredRange[RangeKey(j.Table, r)] != j.Promote {
+				return false
+			}
+		}
+		return true
+	}
 }
 
 // AfterAdmit implements serving.Tuner; the adapter keys everything off
 // arrival times, so completion times are unused.
 func (a *Adapter) AfterAdmit(arrive, done simclock.Time) {}
 
-// advance issues paced migration chunks up to virtual time now and
-// commits finished migrations whose IO has completed. A migration whose
-// Step fails — or stalls issuing zero bytes without finishing, which would
-// otherwise spin the unpaced loop forever — is aborted and rolled back,
-// so a half-moved window can never be committed by a later pass.
-func (a *Adapter) advance(now simclock.Time) {
-	for {
-		if a.active == nil {
-			if len(a.queue) == 0 {
-				return
-			}
-			job := a.queue[0]
-			a.queue = a.queue[1:]
-			m, err := a.begin(job)
-			if err != nil {
-				// The table or range moved (or was never swappable) since
-				// the evaluation that queued the job: drop it.
-				continue
-			}
-			a.active = &activeMig{job: job, m: m, nextIssue: now}
-		}
-		act := a.active
-		for !act.m.Finished() && act.nextIssue <= now {
-			n, _, err := act.m.Step(act.nextIssue)
-			if err != nil || (n == 0 && !act.m.Finished()) {
-				act.m.Abort()
-				a.stats.Aborts++
-				a.active = nil
-				break
-			}
-			if a.cfg.BandwidthBytesPerSec > 0 {
-				act.nextIssue += simclock.Time(float64(n) / a.cfg.BandwidthBytesPerSec * float64(time.Second))
-			}
-		}
-		if a.active == nil {
-			continue
-		}
-		if !act.m.Finished() || act.m.Done() > now {
-			return // needs a later now to issue or settle
-		}
-		if err := act.m.Commit(); err == nil {
-			if act.job.promote {
-				a.stats.Promotions++
-			} else {
-				a.stats.Demotions++
-			}
-			if act.job.ranged {
-				a.stats.RangeMoves++
-			}
-			a.stats.MigratedBytes += act.m.BytesMoved()
-		} else {
-			// A failed commit must release the table's in-flight slot, or
-			// the table is wedged out of adaptation forever.
-			act.m.Abort()
-			a.stats.Aborts++
-		}
-		a.active = nil
-	}
-}
-
-// begin validates a queued job against the store's current state.
-func (a *Adapter) begin(job migJob) (migration, error) {
-	var (
-		m   *core.Migration
-		err error
-	)
-	switch {
-	case job.ranged && job.promote:
-		m, err = a.store.BeginPromoteRange(job.table, job.lo, job.hi, a.cfg.ChunkBytes)
-	case job.ranged:
-		m, err = a.store.BeginDemoteRange(job.table, job.lo, job.hi, a.cfg.ChunkBytes)
-	case job.promote:
-		m, err = a.store.BeginPromote(job.table, a.cfg.ChunkBytes)
-	default:
-		m, err = a.store.BeginDemote(job.table, a.cfg.ChunkBytes)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return m, nil
-}
-
-// busyTables returns the tables with a queued or in-flight move.
-func (a *Adapter) busyTables() map[int]bool {
-	busy := make(map[int]bool, a.PendingMigrations())
-	if a.active != nil {
-		busy[a.active.job.table] = true
-	}
-	for _, j := range a.queue {
-		busy[j.table] = true
-	}
-	return busy
-}
-
-// evaluateTables re-runs the Table-5 greedy FM promotion against live
-// demand densities and enqueues the placement diff as whole-table
-// migrations (demotions first, so the DRAM budget is respected
-// throughout).
-func (a *Adapter) evaluateTables() {
-	busy := a.busyTables()
-
-	type cand struct {
-		table int
-		inFM  bool
-	}
-	var cands []cand
-	a.items = a.items[:0]
-	for _, t := range a.telem.Tables() {
-		if !t.Swappable || t.Windows == 0 {
-			continue
-		}
-		c := cand{table: t.Table, inFM: a.store.TargetOf(t.Table) == placement.FM}
-		density := t.Density()
-		if c.inFM {
-			// Stickiness: an incumbent defends its slot unless a
-			// challenger beats it by the hysteresis factor.
-			density *= a.cfg.Hysteresis
-		}
-		cands = append(cands, c)
-		a.items = append(a.items, placement.RangeItem{
-			Table:   t.Table,
-			Range:   placement.WholeTable,
-			Bytes:   t.StoredBytes,
-			Density: density,
-		})
-	}
-	// The desired FM set under the budget: the shared Table-5 greedy,
-	// here over whole-table items only.
-	desired := make(map[int]bool, len(cands))
-	for _, i := range placement.PackRanges(a.items, a.budget) {
-		desired[a.items[i].Table] = true
-	}
-	// Queued jobs the new desired set contradicts are stale — drop them
-	// before they begin, so consecutive evaluations cannot stack
-	// promotions past the budget.
-	a.reconcileQueue(func(j migJob) bool { return desired[j.table] == j.promote })
-
-	// Diff against current placement; demotions first.
-	var moves []migJob
-	for _, c := range cands {
-		if c.inFM && !desired[c.table] && !busy[c.table] {
-			moves = append(moves, migJob{table: c.table, promote: false})
-		}
-	}
-	for _, c := range cands {
-		if !c.inFM && desired[c.table] && !busy[c.table] {
-			moves = append(moves, migJob{table: c.table, promote: true})
-		}
-	}
-	if len(moves) > a.cfg.MaxMigrationsPerEval {
-		moves = moves[:a.cfg.MaxMigrationsPerEval]
-	}
-	a.queue = append(a.queue, moves...)
-}
-
-// reconcileQueue keeps only the queued jobs the freshest evaluation still
-// agrees with. Without it a promotion queued under an older desired set
-// could begin (and commit) after drift moved the spotlight, stacking the
-// committed FM placement past the budget until a later eval demoted the
-// excess; the in-flight migration is left to finish — aborting it would
-// waste its issued IO — so any overshoot is bounded by one move.
-func (a *Adapter) reconcileQueue(keep func(migJob) bool) {
-	kept := a.queue[:0]
-	for _, j := range a.queue {
-		if keep(j) {
-			kept = append(kept, j)
-		}
-	}
-	a.queue = kept
-}
-
-// rangeCand carries one knapsack item plus the move metadata PackRanges
-// does not need.
-type rangeCand struct {
-	item     placement.RangeItem
-	lo, hi   int64 // row window (range items)
-	resident bool  // currently FM-resident (range) or FM-target (whole)
-	whole    bool  // whole-table item (an FM incumbent, demotable only wholesale)
-	busy     bool  // a queued or in-flight move already covers it
-}
-
-// evaluateRanges runs the Table-5 greedy at row-range granularity: SM
-// tables contribute one candidate per row range, while a whole-table FM
-// incumbent (a static FixedFM placement the controller inherited)
-// participates as a single indivisible item — if it loses the knapsack it
-// is demoted wholesale, after which its ranges compete individually.
-// Selected-but-absent ranges are promoted, resident-but-unselected ones
-// demoted (first, so the budget holds throughout), with adjacent ranges of
-// one table coalesced into a single [lo, hi) migration.
-func (a *Adapter) evaluateRanges() {
-	busyTable := make(map[int]bool)   // whole-table job pending
-	busyRange := make(map[int64]bool) // (table, range) jobs pending
-	rkey := func(table int, r int64) int64 { return int64(table)<<32 | r }
-	mark := func(j migJob) {
-		if !j.ranged {
-			busyTable[j.table] = true
-			return
-		}
-		rr := a.store.RangeRowsOf(j.table)
-		if rr <= 0 {
-			return
-		}
-		for r := j.lo / rr; r*rr < j.hi; r++ {
-			busyRange[rkey(j.table, r)] = true
-		}
-	}
-	if a.active != nil {
-		mark(a.active.job)
-	}
-	for _, j := range a.queue {
-		mark(j)
-	}
-
-	a.cands = a.cands[:0]
-	for _, t := range a.telem.Tables() {
-		if !t.Swappable {
-			continue
-		}
-		if a.store.TargetOf(t.Table) == placement.FM {
-			if t.Windows == 0 {
-				continue
-			}
-			a.cands = append(a.cands, rangeCand{
-				item: placement.RangeItem{
-					Table:   t.Table,
-					Range:   placement.WholeTable,
-					Bytes:   t.StoredBytes,
-					Density: t.Density() * a.cfg.Hysteresis,
-				},
-				lo: 0, hi: -1,
-				resident: true,
-				whole:    true,
-				busy:     busyTable[t.Table],
-			})
-		}
-	}
-	// The payback filter: a range must re-serve its own bytes from FM
-	// within the horizon to justify migrating it (and, with hysteresis, to
-	// keep its slot). Zeroing the density keeps the candidate in the move
-	// diff — sub-floor residents are demoted — while PackRanges never
-	// selects it.
-	floor := 1 / a.cfg.PaybackSeconds
-	rr := int64(0)
-	lastTable := -1
-	for _, rt := range a.telem.Ranges() {
-		if a.store.TargetOf(rt.Table) == placement.FM {
-			continue // covered by the whole-table incumbent item
-		}
-		if rt.Windows == 0 && !rt.FMResident {
-			continue
-		}
-		if rt.Table != lastTable {
-			rr = a.store.RangeRowsOf(rt.Table)
-			lastTable = rt.Table
-		}
-		if rr <= 0 {
-			continue
-		}
-		density := rt.Density()
-		if rt.FMResident {
-			density *= a.cfg.Hysteresis
-		}
-		if density < floor {
-			density = 0
-		}
-		lo := int64(rt.Range) * rr
-		a.cands = append(a.cands, rangeCand{
-			item: placement.RangeItem{
-				Table:   rt.Table,
-				Range:   rt.Range,
-				Bytes:   rt.Bytes,
-				Density: density,
-			},
-			lo: lo, hi: lo + rt.Rows,
-			resident: rt.FMResident,
-			busy:     busyTable[rt.Table] || busyRange[rkey(rt.Table, int64(rt.Range))],
-		})
-	}
-
-	a.items = a.items[:0]
-	for _, c := range a.cands {
-		a.items = append(a.items, c.item)
-	}
-	desired := make([]bool, len(a.cands))
-	for _, i := range placement.PackRanges(a.items, a.budget) {
-		desired[i] = true
-	}
-
-	// Drop queued jobs the new desired set contradicts (see
-	// reconcileQueue): a coalesced range job survives only if every range
-	// it covers still agrees with its direction.
-	desiredWhole := make(map[int]bool)
-	desiredRange := make(map[int64]bool)
-	for i, c := range a.cands {
-		if c.whole {
-			desiredWhole[c.item.Table] = desired[i]
-		} else {
-			desiredRange[rkey(c.item.Table, int64(c.item.Range))] = desired[i]
-		}
-	}
-	a.reconcileQueue(func(j migJob) bool {
-		if !j.ranged {
-			return desiredWhole[j.table] == j.promote
-		}
-		rr := a.store.RangeRowsOf(j.table)
-		if rr <= 0 {
-			return false
-		}
-		for r := j.lo / rr; r*rr < j.hi; r++ {
-			if desiredRange[rkey(j.table, r)] != j.promote {
-				return false
-			}
-		}
-		return true
-	})
-
-	var demote, promote []migJob
-	for i, c := range a.cands {
-		if c.busy || desired[i] == c.resident {
-			continue
-		}
-		if c.resident {
-			if c.whole {
-				demote = append(demote, migJob{table: c.item.Table, promote: false})
-			} else {
-				demote = append(demote, migJob{table: c.item.Table, promote: false, ranged: true, lo: c.lo, hi: c.hi})
-			}
-		} else {
-			promote = append(promote, migJob{table: c.item.Table, promote: true, ranged: true, lo: c.lo, hi: c.hi})
-		}
-	}
-	moves := append(coalesce(demote), coalesce(promote)...)
-	if len(moves) > a.cfg.MaxMigrationsPerEval {
-		moves = moves[:a.cfg.MaxMigrationsPerEval]
-	}
-	a.queue = append(a.queue, moves...)
-}
-
-// coalesce merges adjacent range jobs of the same table and direction into
-// single [lo, hi) migrations (whole-table jobs pass through), so one hot
-// head of k contiguous ranges costs one migration, not k.
-func coalesce(jobs []migJob) []migJob {
+// coalesce merges adjacent range moves of the same table and direction
+// into single [Lo, Hi) migrations (whole-table moves pass through), so one
+// hot head of k contiguous ranges costs one migration, not k.
+func coalesce(jobs []Move) []Move {
 	sort.SliceStable(jobs, func(i, j int) bool {
-		if jobs[i].table != jobs[j].table {
-			return jobs[i].table < jobs[j].table
+		if jobs[i].Table != jobs[j].Table {
+			return jobs[i].Table < jobs[j].Table
 		}
-		return jobs[i].lo < jobs[j].lo
+		return jobs[i].Lo < jobs[j].Lo
 	})
 	out := jobs[:0]
 	for _, j := range jobs {
 		if n := len(out); n > 0 {
 			last := &out[n-1]
-			if last.ranged && j.ranged && last.table == j.table && last.promote == j.promote && last.hi == j.lo {
-				last.hi = j.hi
+			if last.Ranged && j.Ranged && last.Table == j.Table && last.Promote == j.Promote && last.Hi == j.Lo {
+				last.Hi = j.Hi
 				continue
 			}
 		}

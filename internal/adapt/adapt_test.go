@@ -226,6 +226,99 @@ func TestBandwidthCapPacesMigration(t *testing.T) {
 	}
 }
 
+func TestWearBudgetPacesDemoteWrites(t *testing.T) {
+	// With WearDaysPerSecond set, the per-window SM write budget caps the
+	// demote bytes the actuator issues in any one eval window (chunk
+	// granular: overshoot bounded by one chunk), spreading the endurance
+	// spend over time instead of dumping it — while the controller still
+	// adapts through the rotation. Without it a whole-table demotion
+	// lands its writes inside a single window.
+	const (
+		interval = 100 * time.Millisecond
+		chunk    = 16 << 10
+	)
+	run := func(wear float64) (maxPerWindow int64, budget int64, st Stats) {
+		s, gen, _ := fixture(t, 1, 2)
+		a, err := New(s, Config{
+			Interval:             interval,
+			BandwidthBytesPerSec: 8 << 20,
+			ChunkBytes:           chunk,
+			WearDaysPerSecond:    wear,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget = int64(s.Wear().DailyWriteBudgetBytes() * wear * interval.Seconds())
+		windows := map[simclock.Time]int64{}
+		var prev uint64
+		step := func(start simclock.Time, n int) simclock.Time {
+			var now simclock.Time
+			for i := 0; i < n; i++ {
+				now = start + simclock.Time(i)*simclock.Time(3*time.Millisecond)
+				a.BeforeAdmit(now)
+				cur := s.Stats().DemoteWriteBytes
+				windows[now/simclock.Time(interval)] += int64(cur - prev)
+				prev = cur
+				q := gen.Next()
+				if _, err := s.PoolQuery(now, q, s.AllocOutputs(q)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return now + simclock.Time(3*time.Millisecond)
+		}
+		end := step(s.LoadDone(), 1200)
+		gen.ForceRotation()
+		step(end, 1200)
+		for _, b := range windows {
+			if b > maxPerWindow {
+				maxPerWindow = b
+			}
+		}
+		return maxPerWindow, budget, a.Stats()
+	}
+
+	freeMax, _, freeStats := run(0)
+	wearMax, budget, wearStats := run(0.01)
+	if freeStats.Demotions == 0 || freeMax == 0 {
+		t.Fatalf("wear-free run never demoted: %s", freeStats)
+	}
+	if wearStats.Promotions == 0 || wearStats.Demotions == 0 {
+		t.Fatalf("wear budget froze the controller entirely: %s", wearStats)
+	}
+	if budget <= 0 || budget > freeMax {
+		t.Fatalf("fixture budget %d not binding vs unconstrained per-window max %d", budget, freeMax)
+	}
+	if wearMax > budget+chunk {
+		t.Fatalf("windowed demote writes %d exceed budget %d + chunk %d", wearMax, budget, chunk)
+	}
+	if wearMax >= freeMax {
+		t.Fatalf("wear budget did not pace demote writes: max/window %d vs unconstrained %d", wearMax, freeMax)
+	}
+}
+
+func TestSelfWindowDemoteBudgetTracksEndurance(t *testing.T) {
+	// The ungoverned wear window derives its budget from the device's
+	// DWPD rating and remaining rated life.
+	s, _, _ := fixture(t, 1, 2)
+	a, err := New(s, Config{Interval: 100 * time.Millisecond, WearDaysPerSecond: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := a.Actuator().WindowAt(12345)
+	if !ok {
+		t.Fatal("wear-aware adapter installed no window schedule")
+	}
+	wear := s.Wear()
+	want := int64(wear.DailyWriteBudgetBytes() * 1 * 0.1)
+	if w.DemoteBudgetBytes != want {
+		t.Fatalf("window demote budget %d, want %d (daily %g, life %.3f)",
+			w.DemoteBudgetBytes, want, wear.DailyWriteBudgetBytes(), wear.LifeFrac())
+	}
+	if w.Close-w.Open != simclock.Time(100*time.Millisecond) {
+		t.Fatalf("self window width %v, want the eval interval", w.Close-w.Open)
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(nil, Config{}); err == nil {
 		t.Fatal("nil store should fail")

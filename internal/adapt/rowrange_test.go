@@ -178,15 +178,37 @@ func (f *fakeMig) Commit() error       { f.committed = true; return nil }
 func (f *fakeMig) Abort()              { f.aborted = true }
 func (f *fakeMig) BytesMoved() int64   { return int64(f.steps) << 10 }
 
+// fakeMigRecorder issues 1 KiB chunks and records every Step's issue
+// time — the seam the window-gating tests observe.
+type fakeMigRecorder struct {
+	finishAt  int
+	steps     int
+	committed bool
+	aborted   bool
+	issues    *[]simclock.Time
+}
+
+func (f *fakeMigRecorder) Step(now simclock.Time) (int, simclock.Time, error) {
+	f.steps++
+	*f.issues = append(*f.issues, now)
+	return 1 << 10, now, nil
+}
+
+func (f *fakeMigRecorder) Finished() bool      { return f.steps >= f.finishAt }
+func (f *fakeMigRecorder) Done() simclock.Time { return 0 }
+func (f *fakeMigRecorder) Commit() error       { f.committed = true; return nil }
+func (f *fakeMigRecorder) Abort()              { f.aborted = true }
+func (f *fakeMigRecorder) BytesMoved() int64   { return int64(f.steps) << 10 }
+
 func TestAdvanceGuardsZeroByteStall(t *testing.T) {
 	// Regression: a migration issuing 0 bytes without finishing used to
 	// spin the unpaced pacing loop forever (nextIssue never advances,
 	// Finished never true). It must now be aborted and dropped.
-	a := &Adapter{cfg: Config{}.defaulted()} // unpaced
+	x := NewActuator(nil, 0, 0, nil) // unpaced
 	f := &fakeMig{stall: true}
-	a.active = &activeMig{job: migJob{table: 1, promote: true}, m: f}
+	x.active = &activeMig{job: Move{Table: 1, Promote: true}, m: f}
 	done := make(chan struct{})
-	go func() { a.advance(100); close(done) }()
+	go func() { x.Advance(100); close(done) }()
 	select {
 	case <-done:
 	case <-time.After(10 * time.Second):
@@ -195,37 +217,127 @@ func TestAdvanceGuardsZeroByteStall(t *testing.T) {
 	if !f.aborted || f.committed {
 		t.Fatalf("stalled migration not rolled back: aborted=%t committed=%t", f.aborted, f.committed)
 	}
-	if a.active != nil || a.stats.Aborts != 1 {
-		t.Fatalf("stall not accounted: active=%v aborts=%d", a.active, a.stats.Aborts)
+	if x.active != nil || x.stats.Aborts != 1 {
+		t.Fatalf("stall not accounted: active=%v aborts=%d", x.active, x.stats.Aborts)
 	}
 }
 
 func TestAdvanceAbortsOnStepError(t *testing.T) {
-	// Regression: a mid-flight Step error used to just drop a.active,
-	// leaving the half-issued migration committable; it must be aborted.
-	a := &Adapter{cfg: Config{}.defaulted()}
+	// Regression: a mid-flight Step error used to just drop the active
+	// migration, leaving the half-issued migration committable; it must
+	// be aborted.
+	x := NewActuator(nil, 0, 0, nil)
 	f := &fakeMig{failAt: 3, finishAt: 10}
-	a.active = &activeMig{job: migJob{table: 2, promote: false}, m: f}
-	a.advance(100)
+	x.active = &activeMig{job: Move{Table: 2, Promote: false}, m: f}
+	x.Advance(100)
 	if !f.aborted || f.committed {
 		t.Fatalf("failed migration not rolled back: aborted=%t committed=%t", f.aborted, f.committed)
 	}
-	if a.stats.Aborts != 1 || a.stats.Demotions != 0 {
-		t.Fatalf("error not accounted: %s", a.stats)
+	if x.stats.Aborts != 1 || x.stats.Demotions != 0 {
+		t.Fatalf("error not accounted: %s", x.stats)
 	}
 	if err := f.Commit(); err != nil {
 		// fakeMig allows it, but the real Migration must not: covered by
-		// core's TestMigrationAbort. Here we only assert the adapter path.
+		// core's TestMigrationAbort. Here we only assert the actuator path.
 		t.Fatal(err)
 	}
 
 	// A healthy migration still commits.
-	a2 := &Adapter{cfg: Config{}.defaulted()}
+	x2 := NewActuator(nil, 0, 0, nil)
 	ok := &fakeMig{finishAt: 2}
-	a2.active = &activeMig{job: migJob{table: 3, promote: true, ranged: true, lo: 0, hi: 8}, m: ok}
-	a2.advance(100)
-	if !ok.committed || a2.stats.Promotions != 1 || a2.stats.RangeMoves != 1 {
-		t.Fatalf("healthy migration not committed: %s", a2.stats)
+	x2.active = &activeMig{job: Move{Table: 3, Promote: true, Ranged: true, Lo: 0, Hi: 8}, m: ok}
+	x2.Advance(100)
+	if !ok.committed || x2.stats.Promotions != 1 || x2.stats.RangeMoves != 1 {
+		t.Fatalf("healthy migration not committed: %s", x2.stats)
+	}
+}
+
+func TestActuatorWindowsGateIssue(t *testing.T) {
+	// With a window schedule installed, chunks issue only inside granted
+	// windows: a migration begun between windows waits for the next
+	// grant, and chunks never issue past a window's close.
+	const slot = simclock.Time(100)
+	var issues []simclock.Time
+	x := NewActuator(nil, 0, 0, nil)
+	// This replica owns [200, 300) and every 300 thereafter (cycle 300).
+	x.SetWindows(func(t simclock.Time) Window {
+		cycle := 3 * slot
+		k := (t - 2*slot) / cycle
+		if t < 2*slot {
+			k = 0
+		} else if (t-2*slot)%cycle >= slot {
+			k++
+		}
+		open := 2*slot + k*cycle
+		return Window{Open: open, Close: open + slot, BandwidthBytesPerSec: 1 << 30}
+	})
+	f := &fakeMigRecorder{finishAt: 4, issues: &issues}
+	x.active = &activeMig{job: Move{Table: 1, Promote: true}, m: f, nextIssue: 0}
+
+	x.Advance(100) // before the first window: nothing may issue
+	if len(issues) != 0 {
+		t.Fatalf("chunks issued outside any window: %v", issues)
+	}
+	x.Advance(250) // inside [200, 300)
+	for _, at := range issues {
+		if at < 200 || at >= 300 {
+			t.Fatalf("chunk issued at %d outside window [200, 300): %v", at, issues)
+		}
+	}
+	x.Advance(10_000) // enough windows to finish and commit
+	if !f.committed {
+		t.Fatalf("windowed migration never committed (issues=%v)", issues)
+	}
+	for _, at := range issues {
+		rel := (at - 2*slot) % (3 * slot)
+		if at < 2*slot || rel < 0 || rel >= slot {
+			t.Fatalf("chunk issued at %d outside the replica's windows", at)
+		}
+	}
+}
+
+func TestActuatorWindowDemoteBudget(t *testing.T) {
+	// A window's SM write budget caps demote chunks (promotes are reads
+	// and stay exempt): once the budget is spent, the next demote chunk
+	// waits for the following window.
+	const slot = simclock.Time(1000)
+	window := func(t simclock.Time) Window {
+		open := t / slot * slot
+		return Window{Open: open, Close: open + slot, DemoteBudgetBytes: 2 << 10}
+	}
+	var issues []simclock.Time
+	x := NewActuator(nil, 0, 0, nil)
+	x.SetWindows(window)
+	f := &fakeMigRecorder{finishAt: 6, issues: &issues} // 6 KiB in 1 KiB chunks
+	x.active = &activeMig{job: Move{Table: 1, Promote: false}, m: f}
+	x.Advance(5 * slot)
+	if !f.committed {
+		t.Fatalf("budgeted demotion never committed (issues=%v)", issues)
+	}
+	// 2 KiB per 1000-tick window: chunks 1-2 in window 0, 3-4 in window
+	// 1, 5-6 in window 2.
+	perWindow := map[simclock.Time]int{}
+	for _, at := range issues {
+		perWindow[at/slot]++
+	}
+	for w, n := range perWindow {
+		if n > 2 {
+			t.Fatalf("window %d issued %d demote chunks over its 2-chunk budget: %v", w, n, issues)
+		}
+	}
+	if len(perWindow) < 3 {
+		t.Fatalf("demotion did not spread across windows: %v", issues)
+	}
+
+	// The same migration promoted ignores the demote budget entirely.
+	var pIssues []simclock.Time
+	x2 := NewActuator(nil, 0, 0, nil)
+	x2.SetWindows(window)
+	p := &fakeMigRecorder{finishAt: 6, issues: &pIssues}
+	x2.active = &activeMig{job: Move{Table: 1, Promote: true}, m: p}
+	x2.Advance(10)
+	if !p.committed || len(pIssues) != 6 {
+		t.Fatalf("promotion throttled by the demote budget: committed=%t issues=%v", p.committed, pIssues)
 	}
 }
 
@@ -274,17 +386,17 @@ func TestReconcileQueueDropsStaleJobs(t *testing.T) {
 	// A promotion queued under an older desired set must not survive an
 	// evaluation that no longer wants it — stale jobs used to begin (and
 	// commit) anyway, stacking FM placement past the budget.
-	a := &Adapter{cfg: Config{}.defaulted()}
-	a.queue = []migJob{
-		{table: 1, promote: true},
-		{table: 2, promote: false},
-		{table: 3, promote: true},
-		{table: 4, promote: true, ranged: true, lo: 0, hi: 8},
-	}
+	x := NewActuator(nil, 0, 0, nil)
+	x.Enqueue([]Move{
+		{Table: 1, Promote: true},
+		{Table: 2, Promote: false},
+		{Table: 3, Promote: true},
+		{Table: 4, Promote: true, Ranged: true, Lo: 0, Hi: 8},
+	})
 	desired := map[int]bool{1: true, 2: true, 3: false, 4: false}
-	a.reconcileQueue(func(j migJob) bool { return desired[j.table] == j.promote })
-	if len(a.queue) != 1 || a.queue[0].table != 1 {
-		t.Fatalf("stale jobs not dropped: %+v", a.queue)
+	x.Reconcile(func(j Move) bool { return desired[j.Table] == j.Promote })
+	if x.Pending() != 1 || x.queue[0].Table != 1 {
+		t.Fatalf("stale jobs not dropped: %+v", x.queue)
 	}
 }
 

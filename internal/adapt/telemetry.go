@@ -36,6 +36,13 @@ type TableTelemetry struct {
 	// Reuse is the decayed row-cache hit rate — the reuse signal behind
 	// the paper's per-table cache enablement.
 	Reuse float64
+	// DemoteRate is the decayed SM demote-write rate (bytes/s of virtual
+	// time) this table's migrations have cost, fed by the per-table
+	// core.TableStat.DemoteWriteBytes endurance counter. It is an
+	// observability field (which tables churn the write budget) — the
+	// packing greedy's wear term itself scores candidates by footprint
+	// (placement.RangeItem.DemoteBytes), not by this rate.
+	DemoteRate float64
 	// Windows counts samples folded into the decayed values.
 	Windows int
 }
@@ -156,9 +163,11 @@ func (tl *Telemetry) Sample(now simclock.Time, s *core.Store) {
 		smReads := cur.SMReads - prev.SMReads
 		hits := cur.CacheHits - prev.CacheHits
 		misses := cur.CacheMisses - prev.CacheMisses
+		demoted := cur.DemoteWriteBytes - prev.DemoteWriteBytes
 
 		rate := float64(lookups) / dt
 		demand := rate * float64(cur.RowBytes)
+		demoteRate := float64(demoted) / dt
 		fmServed := 0.0
 		if lookups > 0 {
 			fmServed = 1 - float64(smReads)/float64(lookups)
@@ -169,11 +178,13 @@ func (tl *Telemetry) Sample(now simclock.Time, s *core.Store) {
 		}
 		if t.Windows == 0 {
 			t.LookupRate, t.DemandBytes, t.FMServed, t.Reuse = rate, demand, fmServed, reuse
+			t.DemoteRate = demoteRate
 		} else {
 			t.LookupRate += a * (rate - t.LookupRate)
 			t.DemandBytes += a * (demand - t.DemandBytes)
 			t.FMServed += a * (fmServed - t.FMServed)
 			t.Reuse += a * (reuse - t.Reuse)
+			t.DemoteRate += a * (demoteRate - t.DemoteRate)
 		}
 		t.Windows++
 	}

@@ -428,6 +428,29 @@ func (s TechSpec) LoadedLatency(iops float64) time.Duration {
 	return time.Duration(float64(s.MediaLatency) * infl)
 }
 
+// RatedLifeYears is the drive-life horizon the DWPD rating assumes (the
+// standard 5-year warranty window the §3 endurance equation uses).
+const RatedLifeYears = 5
+
+// RatedLifeBytes returns the total writes the endurance rating allows a
+// device of the given capacity over its rated life: DWPD × capacity ×
+// 365 × RatedLifeYears. 0 when the technology carries no DWPD rating.
+func (s TechSpec) RatedLifeBytes(capacityBytes int64) int64 {
+	if s.EnduranceDWPD <= 0 || capacityBytes <= 0 {
+		return 0
+	}
+	return int64(s.EnduranceDWPD * float64(capacityBytes) * 365 * RatedLifeYears)
+}
+
+// DailyWriteBudget returns the bytes/day the DWPD rating allows a device
+// of the given capacity to absorb.
+func (s TechSpec) DailyWriteBudget(capacityBytes int64) float64 {
+	if s.EnduranceDWPD <= 0 || capacityBytes <= 0 {
+		return 0
+	}
+	return s.EnduranceDWPD * float64(capacityBytes)
+}
+
 // UpdateInterval returns the minimum sustainable model-update interval in
 // days implied by device endurance (§3):
 //

@@ -28,6 +28,14 @@ type HostResult struct {
 	FMServedRate    float64
 	RangeServedRate float64
 	SMReads         uint64
+	// SMWriteBytes is the SM media bytes this run's migrations wrote on
+	// the host (endurance spend); LifetimeSMWrites the host's cumulative
+	// device writes including model load, and DWPDUtil the drive-writes-
+	// per-day utilization the run's write rate projects to (1.0 = writing
+	// at exactly the device's rated DWPD).
+	SMWriteBytes     uint64
+	LifetimeSMWrites uint64
+	DWPDUtil         float64
 }
 
 // WindowStat aggregates one equal-width virtual-time window of the run —
@@ -42,6 +50,9 @@ type WindowStat struct {
 	FMRate     float64 // FM-served fraction of store lookups
 	RangeRate  float64 // fraction served by FM-resident row ranges
 	SMPerQuery float64
+	// SMWriteBytes is the SM media bytes written in the window —
+	// migration wear becomes visible as per-window write bursts.
+	SMWriteBytes uint64
 }
 
 // Result is the outcome of one Fleet.Run.
@@ -57,6 +68,11 @@ type Result struct {
 	HitRate         float64
 	FMServedRate    float64
 	RangeServedRate float64
+	// SMWriteBytes sums the run's SM media writes across hosts (the
+	// fleet's endurance spend) and DWPDUtil is the fleet-wide projected
+	// drive-writes-per-day utilization at the run's write rate.
+	SMWriteBytes uint64
+	DWPDUtil     float64
 
 	Hosts   []HostResult
 	Windows []WindowStat
@@ -140,6 +156,11 @@ func (f *Fleet) aggregate(qps float64, start, lastArrival simclock.Time, records
 	res.HitRate = fleetDelta.HitRate()
 	res.FMServedRate = fleetDelta.FMServedRate()
 	res.RangeServedRate = fleetDelta.RangeServedRate()
+	res.SMWriteBytes = fleetDelta.SMWriteBytes
+	// Wear observability: per-host endurance spend and the DWPD
+	// utilization the run's write rate projects to.
+	elapsedDays := elapsed / 86400
+	var fleetDailyBudget float64
 	for i := range hosts {
 		d := hostDelta[i]
 		hosts[i].HitRate = d.HitRate()
@@ -149,9 +170,21 @@ func (f *Fleet) aggregate(qps float64, start, lastArrival simclock.Time, records
 		hosts[i].FMServedRate = d.FMServedRate()
 		hosts[i].RangeServedRate = d.RangeServedRate()
 		hosts[i].SMReads = d.SMReads
+		hosts[i].SMWriteBytes = d.SMWriteBytes
 		if elapsed > 0 {
 			hosts[i].AchievedQPS = float64(hosts[i].Queries) / elapsed
 		}
+		if s := f.members[i].host.Store(); s != nil {
+			w := s.Wear()
+			hosts[i].LifetimeSMWrites = w.BytesWritten
+			if elapsedDays > 0 {
+				hosts[i].DWPDUtil = w.DWPDUtil(float64(d.SMWriteBytes) / elapsedDays)
+			}
+			fleetDailyBudget += w.DWPD * float64(w.CapacityBytes)
+		}
+	}
+	if fleetDailyBudget > 0 && elapsedDays > 0 {
+		res.DWPDUtil = float64(res.SMWriteBytes) / elapsedDays / fleetDailyBudget
 	}
 	res.Hosts = hosts
 
@@ -240,20 +273,22 @@ func windowOver(records []record, lo, hi simclock.Time) WindowStat {
 		w.FMRate = delta.FMServedRate()
 		w.RangeRate = delta.RangeServedRate()
 		w.SMPerQuery = float64(delta.SMReads) / float64(w.Queries)
+		w.SMWriteBytes = delta.SMWriteBytes
 	}
 	return w
 }
 
 // String renders one host's share of the run.
 func (h HostResult) String() string {
-	return fmt.Sprintf("host%d alive=%t q=%d qps=%.3f p99=%.6f hit=%.4f fm=%.4f rng=%.4f sm=%d",
-		h.ID, h.Alive, h.Queries, h.AchievedQPS, h.Latency.P99(), h.HitRate, h.FMServedRate, h.RangeServedRate, h.SMReads)
+	return fmt.Sprintf("host%d alive=%t q=%d qps=%.3f p99=%.6f hit=%.4f fm=%.4f rng=%.4f sm=%d smW=%d dwpd=%.6f",
+		h.ID, h.Alive, h.Queries, h.AchievedQPS, h.Latency.P99(), h.HitRate, h.FMServedRate, h.RangeServedRate,
+		h.SMReads, h.SMWriteBytes, h.DWPDUtil)
 }
 
 // String renders one window of the run's time series.
 func (w WindowStat) String() string {
-	return fmt.Sprintf("[%d,%d) q=%d mean=%.6f p99=%.6f max=%.6f hit=%.4f fm=%.4f rng=%.4f sm=%.3f",
-		w.Start, w.End, w.Queries, w.MeanLat, w.P99, w.MaxLat, w.HitRate, w.FMRate, w.RangeRate, w.SMPerQuery)
+	return fmt.Sprintf("[%d,%d) q=%d mean=%.6f p99=%.6f max=%.6f hit=%.4f fm=%.4f rng=%.4f sm=%.3f smW=%d",
+		w.Start, w.End, w.Queries, w.MeanLat, w.P99, w.MaxLat, w.HitRate, w.FMRate, w.RangeRate, w.SMPerQuery, w.SMWriteBytes)
 }
 
 // String renders the fleet headline.
@@ -283,6 +318,14 @@ func (r *Result) Print(w io.Writer) {
 			fmt.Fprintf(w, "w%-9d %8d %10.2f %10.2f %10.1f %8.1f %8.1f\n",
 				i, win.Queries, win.MeanLat*1e3, win.P99*1e3, win.HitRate*100, win.FMRate*100, win.SMPerQuery)
 		}
+	}
+	if r.SMWriteBytes > 0 {
+		var lifetime uint64
+		for _, h := range r.Hosts {
+			lifetime += h.LifetimeSMWrites
+		}
+		fmt.Fprintf(w, "wear: %.2f MB SM writes this run (lifetime %.2f MB), projected DWPD utilization %.3f\n",
+			float64(r.SMWriteBytes)/(1<<20), float64(lifetime)/(1<<20), r.DWPDUtil)
 	}
 	if r.DriftFired {
 		fmt.Fprintf(w, "drift: hot-set rotation at t=%.2fs\n", r.DriftAt.Seconds())

@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 
+	"sdm/internal/blockdev"
 	"sdm/internal/cache"
 	"sdm/internal/embedding"
 	"sdm/internal/placement"
@@ -44,6 +45,12 @@ type TableStat struct {
 	CacheMisses   uint64
 	PooledHits    uint64
 	PooledMisses  uint64
+
+	// DemoteWriteBytes counts the SM media bytes demotions of this table
+	// have written (as chunks issue, committed or not) — the per-table
+	// endurance cost the wear-aware placement term consumes. It survives
+	// ResetRuntimeStats, like every endurance counter.
+	DemoteWriteBytes uint64
 }
 
 // FMServedRate returns the fraction of the table's row lookups served
@@ -62,20 +69,21 @@ func (s *Store) TableStats(dst []TableStat) []TableStat {
 	dst = dst[:0]
 	for i, st := range s.tables {
 		ts := TableStat{
-			Table:         i,
-			Target:        st.target,
-			Swappable:     st.swappable,
-			CacheEnabled:  st.cacheEnabled,
-			StoredBytes:   st.spec.SizeBytes(),
-			RowBytes:      st.spec.RowBytes(),
-			RangeRows:     st.rangeRows,
-			FMRangeBytes:  st.fmRangeBytes,
-			Lookups:       st.runtime.Lookups,
-			SMReads:       st.runtime.SMReads,
-			FMDirectReads: st.runtime.FMDirectReads,
-			RangeFMReads:  st.runtime.RangeFMReads,
-			PooledHits:    st.runtime.PooledHits,
-			PooledMisses:  st.runtime.PooledMisses,
+			Table:            i,
+			Target:           st.target,
+			Swappable:        st.swappable,
+			CacheEnabled:     st.cacheEnabled,
+			StoredBytes:      st.spec.SizeBytes(),
+			RowBytes:         st.spec.RowBytes(),
+			RangeRows:        st.rangeRows,
+			FMRangeBytes:     st.fmRangeBytes,
+			Lookups:          st.runtime.Lookups,
+			SMReads:          st.runtime.SMReads,
+			FMDirectReads:    st.runtime.FMDirectReads,
+			RangeFMReads:     st.runtime.RangeFMReads,
+			PooledHits:       st.runtime.PooledHits,
+			PooledMisses:     st.runtime.PooledMisses,
+			DemoteWriteBytes: st.runtime.DemoteWriteBytes,
 		}
 		if st.rowBytes > 0 {
 			ts.StoredBytes = st.storedSpec.SizeBytes()
@@ -281,6 +289,8 @@ func (m *Migration) Step(now simclock.Time) (int, simclock.Time, error) {
 			if err != nil {
 				return bytes, chunkDone, fmt.Errorf("core: demote table %d: %w", m.table, err)
 			}
+			st.runtime.DemoteWriteBytes += uint64(span)
+			s.stats.DemoteWriteBytes += uint64(span)
 			if done > chunkDone {
 				chunkDone = done
 			}
@@ -459,6 +469,70 @@ func (m *Migration) Abort() {
 	}
 	m.aborted = true
 	m.untrack()
+}
+
+// WearInfo summarizes the store's SM endurance state: the §3 DWPD rating
+// applied to the attached devices, their lifetime media writes, and the
+// total writes the rating allows over blockdev.RatedLifeYears. It is the
+// input the wear-aware placement term and fleet wear observability share.
+type WearInfo struct {
+	Tech blockdev.Technology
+	// DWPD is the technology's drive-writes-per-day rating.
+	DWPD float64
+	// CapacityBytes is the total SM capacity across devices.
+	CapacityBytes int64
+	// BytesWritten is the lifetime media bytes written across devices
+	// (model load included — load writes wear the flash too).
+	BytesWritten uint64
+	// RatedLifeBytes is the total writes the DWPD rating allows over the
+	// rated life (0 for unrated technologies).
+	RatedLifeBytes int64
+}
+
+// LifeFrac returns the remaining rated-life fraction in [0, 1] (1 when
+// the technology carries no rating — nothing to conserve).
+func (w WearInfo) LifeFrac() float64 {
+	if w.RatedLifeBytes <= 0 {
+		return 1
+	}
+	rem := 1 - float64(w.BytesWritten)/float64(w.RatedLifeBytes)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// DailyWriteBudgetBytes returns the bytes/day of SM writes the endurance
+// model currently allows: the DWPD rating scaled by the remaining rated
+// life, so a worn device earns a proportionally smaller budget.
+func (w WearInfo) DailyWriteBudgetBytes() float64 {
+	if w.DWPD <= 0 || w.CapacityBytes <= 0 {
+		return 0
+	}
+	return w.DWPD * float64(w.CapacityBytes) * w.LifeFrac()
+}
+
+// DWPDUtil returns the utilization of the endurance rating implied by a
+// sustained write rate of bytesPerDay (1.0 = writing exactly at the
+// rated DWPD).
+func (w WearInfo) DWPDUtil(bytesPerDay float64) float64 {
+	if w.DWPD <= 0 || w.CapacityBytes <= 0 {
+		return 0
+	}
+	return bytesPerDay / (w.DWPD * float64(w.CapacityBytes))
+}
+
+// Wear returns the store's SM endurance state, aggregated across its
+// devices.
+func (s *Store) Wear() WearInfo {
+	spec := blockdev.Spec(s.cfg.SMTech)
+	w := WearInfo{Tech: s.cfg.SMTech, DWPD: spec.EnduranceDWPD}
+	for _, d := range s.devices {
+		w.CapacityBytes += d.Capacity()
+		w.BytesWritten += d.Stats().BytesWritten
+		w.RatedLifeBytes += spec.RatedLifeBytes(d.Capacity())
+	}
+	return w
 }
 
 // Swappable reports whether table can be migrated at runtime.

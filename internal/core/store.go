@@ -158,6 +158,13 @@ type Stats struct {
 	RangeMigrations     int
 	MigratedSMToFMBytes uint64
 	MigratedFMToSMBytes uint64
+	// DemoteWriteBytes counts SM media bytes written by demotion Steps as
+	// they issue (committed or not) — the endurance cost of tiering
+	// decisions, accounted per table in TableStat so wear-aware placement
+	// can see which tables churn the write budget. Like device
+	// BytesWritten, it is endurance accounting and survives
+	// ResetRuntimeStats.
+	DemoteWriteBytes uint64
 }
 
 // Open loads a model into the SDM store: places tables per the plan,
@@ -535,11 +542,13 @@ func (s *Store) ResetRuntimeStats() {
 		RangeMigrations:     s.stats.RangeMigrations,
 		MigratedSMToFMBytes: s.stats.MigratedSMToFMBytes,
 		MigratedFMToSMBytes: s.stats.MigratedFMToSMBytes,
+		DemoteWriteBytes:    s.stats.DemoteWriteBytes,
 	}
 	// Per-table runtime counters reset with the aggregates they sum to,
-	// keeping TableStats coherent with Stats across the reset.
+	// keeping TableStats coherent with Stats across the reset (endurance
+	// accounting, like device BytesWritten, survives).
 	for _, st := range s.tables {
-		st.runtime = Stats{}
+		st.runtime = Stats{DemoteWriteBytes: st.runtime.DemoteWriteBytes}
 		for r := range st.rangeLookups {
 			st.rangeLookups[r] = 0
 		}

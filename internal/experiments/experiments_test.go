@@ -34,7 +34,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "tab1", "fig3", "tab2", "fig4", "fig5", "fig6",
 		"tab3", "tab4", "tab8", "tab9", "tab10", "tab11", "cluster", "drift",
-		"rowrange", "sgl", "mmap", "deprune", "dequant", "interop", "polling", "warmup", "update",
+		"rowrange", "coord", "sgl", "mmap", "deprune", "dequant", "interop", "polling", "warmup", "update",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -278,6 +278,71 @@ func TestRowRange(t *testing.T) {
 	}
 	if !res.WorkersDeterministic {
 		t.Fatal("range drill diverged across HostWorkers counts")
+	}
+}
+
+func TestCoord(t *testing.T) {
+	// The fleet-coordination acceptance drill, asserted deterministically
+	// for the fixed test seed: under sustained drift, the staggered
+	// wear-aware fleet recovers to the same FM-served rate as N
+	// independent adapters while spending fewer SM demote-bytes, and its
+	// post-rotation fleet tail stays within 2x the single-host
+	// bandwidth-capped reference instead of spiking with the lockstep
+	// burst. The drill runs at its canonical Default scale — the same
+	// scale the CI benchmark trajectory records — because the wear
+	// budget's bind point is calibrated to the default drill geometry
+	// (warmup length and rotation period).
+	resAny, err := Run("coord", Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resAny.(*CoordResult)
+
+	// The drill is real: both fleets migrate, and the lockstep fleet
+	// pays demote writes for every rotation.
+	if res.LockSMWrites == 0 || res.CoordSMWrites == 0 {
+		t.Fatalf("fleets spent no endurance: lockstep %d, coordinated %d", res.LockSMWrites, res.CoordSMWrites)
+	}
+
+	// Acceptance: the coordinated fleet's post-rotation p99 stays within
+	// 2x the single-host bandwidth-capped tail…
+	if res.SinglePeakP99 <= 0 || res.CoordPeakP99 > 2*res.SinglePeakP99 {
+		t.Fatalf("coordinated peak post-rotation p99 %.2fms above 2x single-host capped %.2fms",
+			res.CoordPeakP99*1e3, res.SinglePeakP99*1e3)
+	}
+	// …while the lockstep fleet's simultaneous unpaced bursts push both
+	// its worst window p99 and its worst single query above the
+	// coordinated fleet's.
+	if res.LockPeakP99 <= res.CoordPeakP99 {
+		t.Fatalf("lockstep peak p99 %.2fms not above coordinated %.2fms",
+			res.LockPeakP99*1e3, res.CoordPeakP99*1e3)
+	}
+	if res.LockPeakLat <= res.CoordPeakLat {
+		t.Fatalf("lockstep burst %.2fms not above coordinated %.2fms",
+			res.LockPeakLat*1e3, res.CoordPeakLat*1e3)
+	}
+
+	// Acceptance: fewer total SM demote-bytes than N independent
+	// adapters (meaningfully fewer — at least 10% saved)…
+	if res.CoordSMWrites*10 >= res.LockSMWrites*9 {
+		t.Fatalf("coordinated SM writes %d not meaningfully below lockstep %d",
+			res.CoordSMWrites, res.LockSMWrites)
+	}
+	// …at equal final FM-served recovery (within 5 points).
+	if res.CoordFinal < res.LockFinal-0.05 {
+		t.Fatalf("coordinated final FM rate %.3f more than 5 points below lockstep %.3f",
+			res.CoordFinal, res.LockFinal)
+	}
+
+	// The DWPD projection orders the same way as the raw spend.
+	if res.CoordDWPDUtil >= res.LockDWPDUtil {
+		t.Fatalf("coordinated DWPD utilization %.2f not below lockstep %.2f",
+			res.CoordDWPDUtil, res.LockDWPDUtil)
+	}
+
+	// The coordinated run repeated at HostWorkers=4 must be bit-identical.
+	if !res.WorkersDeterministic {
+		t.Fatal("coordinated drill diverged across HostWorkers counts")
 	}
 }
 

@@ -174,7 +174,10 @@ func NewHost(inst *model.Instance, store *core.Store, flat []*embedding.Table, g
 // background work on the host's virtual timeline, interleaved with
 // queries in admission order (which is what keeps adaptive runs
 // deterministic at any worker count). The adapt subsystem's Adapter is
-// the canonical implementation.
+// the canonical implementation; under fleet coordination its background
+// IO additionally honors coordinator-granted migration windows
+// (adapt.WindowFn), which must be pure functions of virtual time so the
+// determinism contract survives window grants.
 type Tuner interface {
 	// BeforeAdmit runs before a query executes, at its arrival time.
 	// Placement swaps committed here are visible to that query.
@@ -481,7 +484,11 @@ type CacheSnapshot struct {
 	Lookups       uint64
 	FMDirectReads uint64
 	RangeFMReads  uint64
-	CPUBooked     time.Duration
+	// SMWriteBytes is the lifetime SM media bytes written (model load
+	// plus migration demotes) — the endurance counter fleet window
+	// deltas attribute wear bursts with.
+	SMWriteBytes uint64
+	CPUBooked    time.Duration
 }
 
 // Sub returns the counter deltas s − o.
@@ -495,6 +502,7 @@ func (s CacheSnapshot) Sub(o CacheSnapshot) CacheSnapshot {
 		Lookups:       s.Lookups - o.Lookups,
 		FMDirectReads: s.FMDirectReads - o.FMDirectReads,
 		RangeFMReads:  s.RangeFMReads - o.RangeFMReads,
+		SMWriteBytes:  s.SMWriteBytes - o.SMWriteBytes,
 		CPUBooked:     s.CPUBooked - o.CPUBooked,
 	}
 }
@@ -510,6 +518,7 @@ func (s CacheSnapshot) Add(o CacheSnapshot) CacheSnapshot {
 		Lookups:       s.Lookups + o.Lookups,
 		FMDirectReads: s.FMDirectReads + o.FMDirectReads,
 		RangeFMReads:  s.RangeFMReads + o.RangeFMReads,
+		SMWriteBytes:  s.SMWriteBytes + o.SMWriteBytes,
 		CPUBooked:     s.CPUBooked + o.CPUBooked,
 	}
 }
@@ -558,6 +567,7 @@ func (h *Host) Snapshot() CacheSnapshot {
 		s.Lookups = st.Lookups
 		s.FMDirectReads = st.FMDirectReads
 		s.RangeFMReads = st.RangeFMReads
+		s.SMWriteBytes = h.store.DeviceStats().BytesWritten
 	}
 	return s
 }

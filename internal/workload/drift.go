@@ -29,6 +29,14 @@ type DriftConfig struct {
 	// HotTables is the number of user tables boosted per phase (the
 	// "spotlight" set, rotating with the phase). 0 disables table drift.
 	HotTables int
+	// HotItemTables extends rotation to the item side: each phase re-keys
+	// the rank→item bijection (yesterday's popular items go cold, a fresh
+	// catalog cohort becomes hot — and with them every item-keyed row
+	// sequence) and rotates an item-table spotlight of this size, boosted
+	// and shrunk by the same HotBoost/ColdShrink as the user side. 0
+	// disables item drift entirely — the item stream stays bit-identical
+	// to the stationary generator.
+	HotItemTables int
 	// HotBoost multiplies the pooling factor of spotlight tables
 	// (default 4 when HotTables > 0).
 	HotBoost float64
@@ -58,20 +66,20 @@ type DriftConfig struct {
 
 // Enabled reports whether any drift dimension is active.
 func (d DriftConfig) Enabled() bool {
-	return d.PhaseQueries > 0 || d.HotTables > 0 ||
+	return d.PhaseQueries > 0 || d.HotTables > 0 || d.HotItemTables > 0 ||
 		(d.DiurnalQueries > 0 && d.DiurnalAmp != 0) || d.FlashEvery > 0
 }
 
 // validate rejects nonsensical drift settings and fills defaults.
 func (d DriftConfig) validate() (DriftConfig, error) {
-	if d.PhaseQueries < 0 || d.HotTables < 0 || d.DiurnalQueries < 0 ||
+	if d.PhaseQueries < 0 || d.HotTables < 0 || d.HotItemTables < 0 || d.DiurnalQueries < 0 ||
 		d.FlashEvery < 0 || d.FlashLen < 0 || d.FlashUsers < 0 {
 		return d, fmt.Errorf("workload: negative drift parameter: %+v", d)
 	}
 	if d.HotBoost < 0 || d.ColdShrink < 0 || d.FlashFrac < 0 || d.FlashFrac > 1 {
 		return d, fmt.Errorf("workload: drift multipliers out of range: %+v", d)
 	}
-	if d.HotTables > 0 {
+	if d.HotTables > 0 || d.HotItemTables > 0 {
 		if d.HotBoost == 0 {
 			d.HotBoost = 4
 		}
@@ -141,6 +149,28 @@ func (g *Generator) driftUser(rank int64) int64 {
 	return user
 }
 
+// driftItem maps a freshly drawn item Zipf rank through the current
+// phase's item bijection. Disabled (HotItemTables == 0) or in phase 0 it
+// is the identity, so the item stream reproduces the stationary generator
+// bit-for-bit; enabled, every rotation re-keys which catalog items are
+// popular, exactly as driftUser re-keys the user cohort. It draws no
+// randomness of its own, so enabling it never perturbs the shared RNG
+// stream.
+func (g *Generator) driftItem(rank int64) int64 {
+	if g.cfg.Drift.HotItemTables <= 0 {
+		return rank
+	}
+	phase := g.Phase()
+	if phase == 0 {
+		return rank
+	}
+	if g.itemMap == nil || g.itemMapPhase != phase {
+		g.itemMap = xrand.NewPermuter(g.cfg.NumItems, g.cfg.Seed^0x17e3a^uint64(phase)*0x9e3779b97f4a7c15)
+		g.itemMapPhase = phase
+	}
+	return g.itemMap.Map(rank)
+}
+
 // diurnalAlpha returns the user skew at the current point of the diurnal
 // cycle (the base skew when the diurnal shift is disabled).
 func (g *Generator) diurnalAlpha() float64 {
@@ -156,12 +186,28 @@ func (g *Generator) diurnalAlpha() float64 {
 }
 
 // tableBoost returns the pooling-factor multiplier of table t in the
-// current phase: HotBoost for the rotating spotlight set of user tables,
-// ColdShrink for the rest, 1 when table drift is off or t is item-side.
+// current phase: HotBoost for the rotating spotlight set (user tables
+// under HotTables, item tables under HotItemTables), ColdShrink for the
+// rest of the drifting side, 1 when that side's table drift is off.
 func (g *Generator) tableBoost(t int) float64 {
 	d := g.cfg.Drift
 	nUser := g.inst.Config.NumUserTables
-	if d.HotTables <= 0 || t >= nUser || nUser == 0 {
+	if t >= nUser {
+		nItem := len(g.inst.Tables) - nUser
+		if d.HotItemTables <= 0 || nItem == 0 {
+			return 1
+		}
+		k := d.HotItemTables
+		if k > nItem {
+			k = nItem
+		}
+		start := (g.Phase() * k) % nItem
+		if (t-nUser-start+nItem)%nItem < k {
+			return d.HotBoost
+		}
+		return d.ColdShrink
+	}
+	if d.HotTables <= 0 || nUser == 0 {
 		return 1
 	}
 	k := d.HotTables
@@ -192,6 +238,27 @@ func (g *Generator) HotUserTables() []int {
 	out := make([]int, 0, k)
 	for i := 0; i < k; i++ {
 		out = append(out, (start+i)%nUser)
+	}
+	return out
+}
+
+// HotItemTables returns the spotlight item tables of the current phase
+// (nil when item drift is disabled), as absolute table indices.
+func (g *Generator) HotItemTables() []int {
+	d := g.cfg.Drift
+	nUser := g.inst.Config.NumUserTables
+	nItem := len(g.inst.Tables) - nUser
+	if d.HotItemTables <= 0 || nItem == 0 {
+		return nil
+	}
+	k := d.HotItemTables
+	if k > nItem {
+		k = nItem
+	}
+	start := (g.Phase() * k) % nItem
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, nUser+(start+i)%nItem)
 	}
 	return out
 }

@@ -144,6 +144,104 @@ func TestHotSetRotationShiftsUsersAndTables(t *testing.T) {
 	}
 }
 
+func TestItemDriftZeroValueBitIdentical(t *testing.T) {
+	// User-side drift alone (HotItemTables == 0) must leave the item
+	// stream bit-identical to a generator without the item extension:
+	// driftItem is the identity and draws no randomness.
+	in := driftInstance(t)
+	mk := func(d DriftConfig) []Query {
+		g, err := NewGenerator(in, Config{Seed: 13, NumUsers: 500, Drift: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ForceRotation() // exercise a non-zero phase
+		return g.GenerateTrace(150)
+	}
+	base := mk(DriftConfig{HotTables: 2, HotBoost: 4, ColdShrink: 0.5})
+	same := mk(DriftConfig{HotTables: 2, HotBoost: 4, ColdShrink: 0.5, HotItemTables: 0})
+	if traceKey(base) != traceKey(same) {
+		t.Fatal("HotItemTables zero value changed the stream")
+	}
+}
+
+func TestItemDriftRekeysItemSequences(t *testing.T) {
+	// With item drift enabled, a rotation re-keys the rank→item bijection:
+	// the item-table row sequences change across the phase boundary, and
+	// the spotlight rotates across the item tables.
+	in := driftInstance(t)
+	g, err := NewGenerator(in, Config{
+		Seed: 7, NumUsers: 1000,
+		Drift: DriftConfig{HotItemTables: 1, HotBoost: 4, ColdShrink: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nUser := in.Config.NumUserTables
+	hot0 := g.HotItemTables()
+	if len(hot0) != 1 || hot0[0] < nUser {
+		t.Fatalf("item spotlight %v not an item table (nUser=%d)", hot0, nUser)
+	}
+	phase0 := g.GenerateTrace(150)
+	g.ForceRotation()
+	hot1 := g.HotItemTables()
+	if hot0[0] == hot1[0] {
+		t.Fatalf("item spotlight did not rotate: %v vs %v", hot0, hot1)
+	}
+	phase1 := g.GenerateTrace(150)
+
+	// The spotlight item table carries more lookups while hot.
+	lookups := func(qs []Query, table int) int {
+		var n int
+		for _, q := range qs {
+			for _, op := range q.Ops {
+				if op.Table == table {
+					n += op.TotalLookups()
+				}
+			}
+		}
+		return n
+	}
+	if l0, l1 := lookups(phase0, hot0[0]), lookups(phase1, hot0[0]); l0 <= 2*l1 {
+		t.Fatalf("item table %d: hot-phase lookups %d not ≫ cold-phase %d", hot0[0], l0, l1)
+	}
+
+	// The popular item-keyed row sequences rotate: each pool is an
+	// item entity's deterministic base sequence, so popular items show up
+	// as repeated identical pools. After the re-key a fresh cohort is
+	// popular, so phase 0's frequent pools barely recur in phase 1.
+	hotPools := func(qs []Query, table int) map[string]bool {
+		counts := map[string]int{}
+		for _, q := range qs {
+			for _, op := range q.Ops {
+				if op.Table != table {
+					continue
+				}
+				for _, pool := range op.Pools {
+					counts[traceKey([]Query{{Ops: []TableOp{{Table: table, Pools: [][]int64{pool}}}}})]++
+				}
+			}
+		}
+		out := map[string]bool{}
+		for p, c := range counts {
+			if c >= 3 {
+				out[p] = true
+			}
+		}
+		return out
+	}
+	itemTab := nUser // first item table, cold in both phases
+	p0, p1 := hotPools(phase0, itemTab), hotPools(phase1, itemTab)
+	overlap := 0
+	for p := range p0 {
+		if p1[p] {
+			overlap++
+		}
+	}
+	if len(p0) == 0 || overlap*2 > len(p0) {
+		t.Fatalf("popular item sequences did not rotate: %d of %d persisted", overlap, len(p0))
+	}
+}
+
 func TestForceRotation(t *testing.T) {
 	in := driftInstance(t)
 	g, err := NewGenerator(in, Config{Seed: 11, NumUsers: 300})

@@ -94,11 +94,14 @@ type Generator struct {
 	itemZ *xrand.Zipf
 
 	// Drift state: generated-query count, forced rotations, and the
-	// current phase's rank→user bijection (lazily rebuilt per phase).
+	// current phase's rank→user and rank→item bijections (lazily rebuilt
+	// per phase).
 	queries      int
 	forcedPhases int
 	userMap      *xrand.Permuter
 	userMapPhase int
+	itemMap      *xrand.Permuter
+	itemMapPhase int
 	userAlpha    float64 // skew the current userZ was built with
 }
 
@@ -210,7 +213,7 @@ func (g *Generator) Next() Query {
 					entity = g.driftUser(g.userZ.Rank(g.rng))
 				}
 			} else {
-				entity = g.itemZ.Rank(g.rng)
+				entity = g.driftItem(g.itemZ.Rank(g.rng))
 			}
 			churn := g.cfg.SeqChurn > 0 && g.rng.Float64() < g.cfg.SeqChurn
 			op.Pools = append(op.Pools, g.baseSequence(t, entity, churn, boost))

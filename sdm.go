@@ -164,11 +164,27 @@ type (
 	TableStat = core.TableStat
 	// RangeStat is one row range's raw runtime counters from the store.
 	RangeStat = core.RangeStat
-	// DriftConfig makes a workload non-stationary (hot-set rotation,
-	// diurnal user-mix shift, flash crowds).
+	// DriftConfig makes a workload non-stationary (hot-set rotation on
+	// both the user and item sides, diurnal user-mix shift, flash
+	// crowds).
 	DriftConfig = workload.DriftConfig
 	// Tuner is the host-side hook adapters install through.
 	Tuner = serving.Tuner
+	// AdaptPolicy is the pure planning layer of the adaptation stack
+	// (telemetry → ranked, wear-aware move plan).
+	AdaptPolicy = adapt.Policy
+	// AdaptActuator is the execution layer (Begin/Step/Commit/Abort
+	// migration machinery under bandwidth caps and window grants).
+	AdaptActuator = adapt.Actuator
+	// MigrationWindow is one coordinator-granted migration window.
+	MigrationWindow = adapt.Window
+	// CoordConfig tunes a fleet migration Coordinator (slot width, shared
+	// bandwidth cap, shared per-cycle wear budget).
+	CoordConfig = cluster.CoordConfig
+	// Coordinator staggers per-replica migration windows fleet-wide.
+	Coordinator = cluster.Coordinator
+	// WearInfo summarizes a store's SM endurance state (§3 DWPD model).
+	WearInfo = core.WearInfo
 )
 
 // Adaptive-tiering constructors.
@@ -177,6 +193,11 @@ var (
 	NewAdapter = adapt.New
 	// AttachAdaptive installs one Adapter per SDM-backed fleet host.
 	AttachAdaptive = cluster.AttachAdaptive
+	// AttachCoordinated is AttachAdaptive plus staggered fleet migration
+	// windows under one shared bandwidth cap and wear budget.
+	AttachCoordinated = cluster.AttachCoordinated
+	// NewCoordinator builds a staggered window schedule for n replicas.
+	NewCoordinator = cluster.NewCoordinator
 	// AdapterStats sums per-host adapter counters.
 	AdapterStats = cluster.AdapterStats
 )
