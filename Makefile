@@ -50,8 +50,9 @@ bench-diff:
 	$(GO) run ./cmd/benchdiff $(BENCH_DIFF_FLAGS) $(BENCH_BASELINE) bench-current.json
 
 # The experiment ids CI gates at 10% (query-engine and cluster benchmarks;
-# the adapt drills drift/rowrange/coord stay warn-only). This is the single
-# source of truth — the CI workflow reads it via `make -s print-bench-gated`.
+# the adapt drills drift/rowrange/coord and the slo serving drill stay
+# warn-only). This is the single source of truth — the CI workflow reads
+# it via `make -s print-bench-gated`.
 BENCH_GATED = fig1,tab1,fig3,tab2,fig4,fig5,fig6,tab3,tab4,tab8,tab9,tab10,tab11,cluster,sgl,mmap,deprune,dequant,interop,polling,warmup,update
 
 print-bench-gated:

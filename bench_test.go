@@ -141,6 +141,77 @@ func BenchmarkWarmupModel(b *testing.B) { runExperiment(b, "warmup") }
 // BenchmarkModelUpdate regenerates the §A.3/§3 update-path study.
 func BenchmarkModelUpdate(b *testing.B) { runExperiment(b, "update") }
 
+// BenchmarkFleetRouting measures wall-clock fleet routing overhead:
+// the same 4-host fleet and trace routed by the single-scorer sticky
+// config versus a six-scorer weighted router (every scorer the registry
+// knows, so the ns/op gap bounds the cost of full SLO-aware scoring).
+// Virtual-time results are unaffected by the choice of b.N.
+func BenchmarkFleetRouting(b *testing.B) {
+	cfg := M1()
+	cfg.NumUserTables = 5
+	cfg.NumItemTables = 3
+	cfg.ItemBatch = 4
+	cfg.TotalBytes = 1 << 21
+	cfg.NumMLPLayers = 4
+	cfg.AvgMLPWidth = 64
+	inst, err := Build(cfg, 1, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables, err := inst.Materialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const hosts = 4
+	mkWeighted := func() Router {
+		sws, err := ParseScorers(
+			"affinity=1,queue=0.4,loadbal=0.1,migavoid=1.2,wear=0.2,fmserved=0.3", hosts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := NewWeightedRouter("weighted6", sws...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	for _, pol := range []struct {
+		name string
+		mk   func() Router
+	}{
+		{"sticky", func() Router { return NewSticky(hosts, 64) }},
+		{"weighted6", mkWeighted},
+	} {
+		b.Run("policy="+pol.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				scfg := Config{Seed: 31, Ring: RingConfig{SGL: true}, CacheBytes: 1 << 15}
+				hs, err := NewFleetHosts(inst, tables, hosts, &scfg, HostConfig{
+					Spec: HWSS(), InterOp: true, Seed: 31,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fl, err := NewFleet(hs, pol.mk(), FleetConfig{Seed: 31})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen, err := NewGenerator(inst, WorkloadConfig{Seed: 31, NumUsers: 800, UserAlpha: 0.8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fl.SetGenerator(gen)
+				res, err := fl.Run(2000, 600)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Latency.P99()*1e6, "p99_us")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkQueryEngine measures wall-clock query throughput of the
 // sharded parallel engine at Parallelism=1 vs all cores. Virtual-time
 // accounting is bit-identical at both settings; the ns/op ratio is the

@@ -5,15 +5,16 @@
 //
 // Usage:
 //
-//	sdmcluster [-hosts n] [-policy rr|loq|sticky|all] [-qps q] [-queries n]
+//	sdmcluster [-hosts n] [-policy rr|loq|sticky|weighted|all] [-qps q] [-queries n]
 //	           [-fail id] [-failfrac f] [-warm] [-workers w] [-seed s]
 //	           [-scale f] [-json]
 //	           [-drift f] [-adapt] [-hottables k] [-itemtables k] [-migbw bytes/s]
 //	           [-coord] [-slot d] [-wear days/s]
+//	           [-scorers spec] [-sloclasses k] [-admit spec]
 //
 // Examples:
 //
-//	sdmcluster -policy all                 # compare the three policies
+//	sdmcluster -policy all                 # compare the four policies
 //	sdmcluster -policy sticky -fail 1      # kill host 1 mid-run (§A.4)
 //	sdmcluster -hottables 2 -drift 0.5 -adapt
 //	                                       # rotate the hot set mid-run and
@@ -21,6 +22,12 @@
 //	sdmcluster -hottables 2 -drift 0.5 -adapt -grain range -coord -wear 0.01
 //	                                       # …with staggered migration windows
 //	                                       # and wear-aware packing fleet-wide
+//	sdmcluster -policy weighted -scorers affinity=1,queue=0.4,migavoid=1.2
+//	                                       # compose a custom scorer-weighted
+//	                                       # router from named scorers
+//	sdmcluster -sloclasses 2 -admit gold=300:30,best-effort=200:20:queue
+//	                                       # tag queries with SLO classes and
+//	                                       # gate each class's admitted rate
 //
 // Virtual-time results are bit-identical for a fixed seed at any -workers
 // value; the flag only changes wall-clock time.
@@ -80,6 +87,9 @@ func run(args []string) error {
 		slot     = fs.Duration("slot", 0, "coordinated migration window width per replica (0 = default 50ms)")
 		wear     = fs.Float64("wear", 0, "wear-aware packing: rated endurance days accrued per virtual second (0 = wear-unaware)")
 		itemTabs = fs.Int("itemtables", 0, "spotlight item tables per drift phase (0 = stationary item side)")
+		scorers  = fs.String("scorers", "affinity=1,queue=0.4,migavoid=1.2", "weighted-policy scorer spec: name=weight,... (names: affinity, queue, loadbal, migavoid, wear, fmserved)")
+		sloCls   = fs.Int("sloclasses", 0, "partition users into this many SLO classes by sticky hash (0 = untagged)")
+		admit    = fs.String("admit", "", "per-class admission spec: name=rate[:burst][:queue|shed],... in class order (empty = no admission control)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +137,8 @@ func run(args []string) error {
 		return fmt.Errorf("-coord requires -adapt")
 	case *slot < 0:
 		return fmt.Errorf("-slot must be >= 0 (0 = default 50ms), got %v", *slot)
+	case *sloCls < 0:
+		return fmt.Errorf("-sloclasses must be >= 0, got %d", *sloCls)
 	}
 	// The adapt subsystem owns the contract for its own knobs (-migbw,
 	// -hysteresis, -smoothing, -payback): surface its validation errors at
@@ -135,9 +147,17 @@ func run(args []string) error {
 		return err
 	}
 
-	policies, err := pickPolicies(*policy, *hosts)
+	policies, err := pickPolicies(*policy, *hosts, *scorers)
 	if err != nil {
 		return err
+	}
+	var gate *cluster.AdmitConfig
+	if *admit != "" {
+		cfg, err := cluster.ParseAdmit(*admit)
+		if err != nil {
+			return err
+		}
+		gate = &cfg
 	}
 
 	// The experiment-scale model: M1 shape with trimmed table counts.
@@ -175,7 +195,7 @@ func run(args []string) error {
 		}
 	}
 	hcfg := serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: *seed}
-	wcfg := workload.Config{Seed: *seed, NumUsers: *users, UserAlpha: 0.8}
+	wcfg := workload.Config{Seed: *seed, NumUsers: *users, UserAlpha: 0.8, SLOClasses: *sloCls}
 	if *hotTabs > 0 || *itemTabs > 0 {
 		wcfg.Drift = workload.DriftConfig{HotTables: *hotTabs, HotItemTables: *itemTabs}
 	}
@@ -187,9 +207,10 @@ func run(args []string) error {
 			return err
 		}
 		var adapters []*adapt.Adapter
+		var coord *cluster.Coordinator
 		if *adaptOn {
 			if *coordOn {
-				adapters, _, err = cluster.AttachCoordinated(hs, acfg, cluster.CoordConfig{
+				adapters, coord, err = cluster.AttachCoordinated(hs, acfg, cluster.CoordConfig{
 					Slot:                 *slot,
 					BandwidthBytesPerSec: *migBW,
 				})
@@ -205,6 +226,19 @@ func run(args []string) error {
 		})
 		if err != nil {
 			return err
+		}
+		// Feed the fleet's View the migration signals the weighted
+		// scorers read (migavoid, wear, fmserved).
+		if coord != nil {
+			fl.SetCoordinator(coord)
+		}
+		if adapters != nil {
+			fl.SetAdapters(adapters)
+		}
+		if gate != nil {
+			if err := fl.SetAdmission(*gate); err != nil {
+				return err
+			}
 		}
 		gen, err := workload.NewGenerator(inst, wcfg)
 		if err != nil {
@@ -258,18 +292,36 @@ func run(args []string) error {
 	return nil
 }
 
-func pickPolicies(name string, hosts int) ([]cluster.Router, error) {
+func pickPolicies(name string, hosts int, scorers string) ([]cluster.Router, error) {
+	weighted := func() (cluster.Router, error) {
+		sws, err := cluster.ParseScorers(scorers, hosts)
+		if err != nil {
+			return nil, err
+		}
+		return cluster.NewWeightedRouter("weighted", sws...)
+	}
 	mk := map[string]func() cluster.Router{
 		"rr":     func() cluster.Router { return cluster.NewRoundRobin() },
 		"loq":    func() cluster.Router { return cluster.NewLeastOutstanding() },
 		"sticky": func() cluster.Router { return cluster.NewSticky(hosts, 64) },
 	}
 	if name == "all" {
-		return []cluster.Router{mk["rr"](), mk["loq"](), mk["sticky"]()}, nil
+		w, err := weighted()
+		if err != nil {
+			return nil, err
+		}
+		return []cluster.Router{mk["rr"](), mk["loq"](), mk["sticky"](), w}, nil
+	}
+	if name == "weighted" {
+		w, err := weighted()
+		if err != nil {
+			return nil, err
+		}
+		return []cluster.Router{w}, nil
 	}
 	f, ok := mk[name]
 	if !ok {
-		return nil, fmt.Errorf("unknown policy %q (rr, loq, sticky, all)", name)
+		return nil, fmt.Errorf("unknown policy %q (rr, loq, sticky, weighted, all)", name)
 	}
 	return []cluster.Router{f()}, nil
 }
@@ -301,6 +353,23 @@ func jsonReport(r *cluster.Result) map[string]any {
 	}
 	if r.DriftFired {
 		out["drift_at_s"] = r.DriftAt.Seconds()
+	}
+	if len(r.Classes) > 0 {
+		out["shed"] = r.Shed
+		out["load_fairness"] = r.LoadFairness
+		out["class_fairness"] = r.ClassFairness
+		classes := make([]map[string]any, len(r.Classes))
+		for i, c := range r.Classes {
+			classes[i] = map[string]any{
+				"class": c.Class, "name": c.Name,
+				"offered": c.Offered, "shed": c.Shed, "delayed": c.Delayed,
+				"mean_delay_ms": c.MeanDelay * 1e3,
+				"p50_ms":        c.Latency.P50() * 1e3,
+				"p99_ms":        c.Latency.P99() * 1e3,
+				"p999_ms":       c.Latency.P999() * 1e3,
+			}
+		}
+		out["classes"] = classes
 	}
 	if r.FailedHost >= 0 {
 		out["failed_host"] = r.FailedHost

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"sdm/internal/adapt"
 	"sdm/internal/core"
 	"sdm/internal/embedding"
 	"sdm/internal/model"
@@ -62,6 +63,24 @@ type Fleet struct {
 	failedAt simclock.Time
 	failed   int
 
+	// routed counts the queries routed to each host this Run — the
+	// front-end's own load ledger, exposed through View.Routed.
+	routed []int
+
+	// Optional SLO serving layer: a migration-window coordinator and the
+	// per-host adapters (both surfaced through the View for
+	// migration-aware scorers), and front-end admission control.
+	coord     *Coordinator
+	adapters  []*adapt.Adapter
+	admission *admitState
+
+	// Per-Run per-class accounting: offered/shed/delayed counts and the
+	// summed admission delay, indexed by SLO class.
+	classOffered []int
+	classShed    []int
+	classDelayed []int
+	classDelay   []float64
+
 	// armed failure for the next Run (ScheduleFailure); -1 when disarmed.
 	failHost int
 	failFrac float64
@@ -80,6 +99,13 @@ type member struct {
 	host  *serving.Host
 	alive bool
 
+	// lastPush is the latest admission time pushed to this host. Hosts
+	// require non-decreasing admission times; queued (delayed) admissions
+	// can land behind an already-pushed later arrival, so pushes clamp to
+	// it. Without admission control arrivals are already monotone and the
+	// clamp never fires.
+	lastPush simclock.Time
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	jobs      []job
@@ -96,11 +122,13 @@ type job struct {
 }
 
 // record is one query's outcome, written by the owning host goroutine at
-// its private index and aggregated in index order after the run.
+// its private index and aggregated in index order after the run. Shed
+// queries leave their record zero (ok == false) with only class set.
 type record struct {
 	arrive, done simclock.Time
 	host         int
 	user         int64
+	class        int
 	delta        serving.CacheSnapshot
 	ok           bool
 }
@@ -138,6 +166,30 @@ func New(hosts []*serving.Host, router Router, cfg Config) (*Fleet, error) {
 // SetGenerator installs the shared-population workload generator feeding
 // the fleet's arrival process. Run requires one.
 func (f *Fleet) SetGenerator(gen *workload.Generator) { f.gen = gen }
+
+// SetCoordinator surfaces the fleet's migration-window schedule through
+// the View (View.InMigrationWindow), so window-aware scorers can steer
+// traffic off the replica that currently holds the migration grant. Pass
+// the Coordinator returned by AttachCoordinated.
+func (f *Fleet) SetCoordinator(c *Coordinator) { f.coord = c }
+
+// SetAdapters surfaces the per-host adaptive-tiering backlogs through the
+// View (View.MigrationBacklog); adapters[i] must belong to hosts[i] as
+// returned by AttachAdaptive/AttachCoordinated (nil entries are hosts
+// without adapters).
+func (f *Fleet) SetAdapters(as []*adapt.Adapter) { f.adapters = as }
+
+// SetAdmission installs front-end token-bucket admission control: each
+// arrival is charged against its SLO class's bucket before routing, and
+// exhausted buckets shed or delay per the class policy. A zero-value
+// config (no classes) admits everything.
+func (f *Fleet) SetAdmission(cfg AdmitConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	f.admission = newAdmitState(cfg)
+	return nil
+}
 
 // ScheduleFailure arms a host kill for the next Run: host dies after frac
 // of that run's queries have been routed (frac <= 0 selects 0.5), the
@@ -196,6 +248,54 @@ func (v fleetView) OutstandingAt(id int, t simclock.Time) int {
 	return v.f.members[id].host.OutstandingAt(t)
 }
 
+func (v fleetView) LastHost(user int64) int {
+	if id, ok := v.f.lastHost[user]; ok {
+		return id
+	}
+	return -1
+}
+
+func (v fleetView) Routed(id int) int {
+	if id < 0 || id >= len(v.f.routed) {
+		return 0
+	}
+	return v.f.routed[id]
+}
+
+func (v fleetView) Snapshot(id int) serving.CacheSnapshot {
+	// Feedback-only, like OutstandingAt: valid after a fleet sync.
+	return v.f.members[id].host.Snapshot()
+}
+
+func (v fleetView) FMServedRate(id int) float64 {
+	return v.Snapshot(id).FMServedRate()
+}
+
+func (v fleetView) WearHeadroom(id int) float64 {
+	s := v.f.members[id].host.Store()
+	if s == nil {
+		return 1
+	}
+	return s.Wear().LifeFrac()
+}
+
+func (v fleetView) InMigrationWindow(id int, t simclock.Time) bool {
+	if v.f.coord == nil {
+		// No coordinator gates migration IO: a migrating host may issue
+		// at any instant, i.e. it is always "in window".
+		return true
+	}
+	w := v.f.coord.WindowFor(id, t)
+	return w.Open <= t && t < w.Close
+}
+
+func (v fleetView) MigrationBacklog(id int) int {
+	if id < 0 || id >= len(v.f.adapters) || v.f.adapters[id] == nil {
+		return 0
+	}
+	return v.f.adapters[id].PendingMigrations()
+}
+
 // Run offers n queries open-loop at the target fleet QPS (Poisson
 // arrivals), routes each to a host, and aggregates per-host and fleet-wide
 // results. Repeated Runs continue in virtual time with warm caches.
@@ -248,6 +348,10 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 		f.driftArmed = false
 	}
 
+	f.routed = make([]int, len(f.members))
+	f.classOffered, f.classShed = nil, nil
+	f.classDelayed, f.classDelay = nil, nil
+
 	view := fleetView{f}
 	t := start
 	fired := false
@@ -268,17 +372,30 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 				break
 			}
 			f.members[f.failHost].alive = false
-			f.router.HostDown(f.failHost)
 			f.failed = f.failHost
 			f.failedAt = t
 			fired = true
+		}
+		f.noteOffered(q.Class)
+		at := t
+		if f.admission != nil {
+			admitAt, ok := f.admission.admit(q.Class, t)
+			if !ok {
+				f.noteShed(q.Class)
+				records[i] = record{user: q.UserID, class: q.Class}
+				continue
+			}
+			if admitAt > t {
+				f.noteDelayed(q.Class, (admitAt - t).Seconds())
+			}
+			at = admitAt
 		}
 		if f.router.Feedback() {
 			if runErr = f.syncAll(); runErr != nil {
 				break
 			}
 		}
-		id := f.router.Route(q, t, view)
+		id := f.router.Route(q, at, view)
 		if id < 0 || id >= len(f.members) || !f.members[id].alive {
 			runErr = fmt.Errorf("cluster: %s routed query %d to unavailable host %d", f.router.Name(), i, id)
 			break
@@ -287,7 +404,15 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 			f.rerouted[q.UserID] = struct{}{}
 		}
 		f.lastHost[q.UserID] = id
-		f.members[id].push(job{idx: i, at: t, q: q})
+		f.routed[id]++
+		m := f.members[id]
+		if at < m.lastPush {
+			// Hosts require non-decreasing admission times; a queued
+			// admission can land behind this host's latest push.
+			at = m.lastPush
+		}
+		m.lastPush = at
+		m.push(job{idx: i, at: at, q: q})
 	}
 	if err := f.syncAll(); runErr == nil {
 		runErr = err
@@ -303,6 +428,42 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 		return nil, runErr
 	}
 	return f.aggregate(qps, start, t, records, fired, drifted), nil
+}
+
+// growClass extends the per-class counters to cover class c.
+func growClass(xs []int, c int) []int {
+	for len(xs) <= c {
+		xs = append(xs, 0)
+	}
+	return xs
+}
+
+func (f *Fleet) noteOffered(c int) {
+	if c < 0 {
+		return
+	}
+	f.classOffered = growClass(f.classOffered, c)
+	f.classOffered[c]++
+}
+
+func (f *Fleet) noteShed(c int) {
+	if c < 0 {
+		return
+	}
+	f.classShed = growClass(f.classShed, c)
+	f.classShed[c]++
+}
+
+func (f *Fleet) noteDelayed(c int, seconds float64) {
+	if c < 0 {
+		return
+	}
+	f.classDelayed = growClass(f.classDelayed, c)
+	f.classDelayed[c]++
+	for len(f.classDelay) <= c {
+		f.classDelay = append(f.classDelay, 0)
+	}
+	f.classDelay[c] += seconds
 }
 
 // push appends a routed job to the member's FIFO queue.
@@ -344,6 +505,7 @@ func (m *member) loop(sem chan struct{}, records []record) {
 					done:   done,
 					host:   m.id,
 					user:   j.q.UserID,
+					class:  j.q.Class,
 					delta:  m.host.Snapshot().Sub(before),
 					ok:     true,
 				}

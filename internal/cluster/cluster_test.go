@@ -414,15 +414,19 @@ func TestHostFailureReroutesUsers(t *testing.T) {
 
 func TestStickyRingConsistency(t *testing.T) {
 	// Consistent hashing: when a host leaves, only its users remap.
-	s := NewSticky(5, 64)
+	// Liveness now lives in the View — the ring is immutable and reads
+	// the alive set per lookup.
+	r := NewRing(5, 64)
+	alive := []bool{true, true, true, true, true}
+	isAlive := func(id int) bool { return alive[id] }
 	before := make(map[int64]int)
 	for u := int64(0); u < 3000; u++ {
-		before[u] = s.Owner(u)
+		before[u] = r.Owner(u, isAlive)
 	}
-	s.HostDown(3)
+	alive[3] = false
 	moved := 0
 	for u := int64(0); u < 3000; u++ {
-		after := s.Owner(u)
+		after := r.Owner(u, isAlive)
 		if after == 3 {
 			t.Fatalf("user %d still routed to dead host", u)
 		}
@@ -437,10 +441,16 @@ func TestStickyRingConsistency(t *testing.T) {
 		t.Fatal("host 3 owned no users; ring is degenerate")
 	}
 	// Rejoin restores the exact prior ownership.
-	s.HostUp(3)
+	alive[3] = true
 	for u := int64(0); u < 3000; u++ {
-		if s.Owner(u) != before[u] {
+		if r.Owner(u, isAlive) != before[u] {
 			t.Fatalf("user %d did not return to host %d after rejoin", u, before[u])
+		}
+	}
+	// A nil alive set accepts every host.
+	for u := int64(0); u < 100; u++ {
+		if r.Owner(u, nil) != before[u] {
+			t.Fatalf("nil alive set diverged from all-alive for user %d", u)
 		}
 	}
 }
@@ -499,6 +509,223 @@ func TestFleetValidation(t *testing.T) {
 	}
 	if _, err := HostSet(in, tables, 0, &scfg, serving.Config{Spec: serving.HWSS(), Seed: 1}); err == nil {
 		t.Fatal("empty host set should fail")
+	}
+}
+
+func TestUtilizationSweepCrossover(t *testing.T) {
+	// The BLIS utilization sweep: affinity routing wins on cache hit rate
+	// while the fleet has headroom, but it saturates its hottest host
+	// first — at high load round-robin's even spread keeps p99 flat while
+	// sticky's tail collapses. Both regimes on the same fixture.
+	in, tables := fixture(t)
+	run := func(r Router, seed uint64, qps float64, n int) *Result {
+		f := testFleet(t, in, tables, 4, r, Config{Seed: seed})
+		res, err := f.Run(qps, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Low load: locality dominates. Sticky concentrates each user's rows
+	// in one replica's cache and wins the fleet hit rate.
+	rrLow := run(NewRoundRobin(), 13, 300, 800)
+	stLow := run(NewSticky(4, 64), 13, 300, 800)
+	if stLow.HitRate <= rrLow.HitRate {
+		t.Fatalf("low load: sticky hit %.3f should beat round-robin %.3f",
+			stLow.HitRate, rrLow.HitRate)
+	}
+	// High load: this fixture's sticky fleet saturates its hottest host
+	// near 11k qps, so at 16k the sticky tail is unbounded queueing while
+	// round-robin still has headroom (~24k capacity).
+	rrHigh := run(NewRoundRobin(), 29, 16000, 3000)
+	stHigh := run(NewSticky(4, 64), 29, 16000, 3000)
+	if 4*rrHigh.Latency.P99() >= stHigh.Latency.P99() {
+		t.Fatalf("high load: round-robin p99 %.6f should be far below sticky %.6f",
+			rrHigh.Latency.P99(), stHigh.Latency.P99())
+	}
+	// The mechanism is load imbalance, visible as Jain fairness over
+	// per-host served counts.
+	if rrHigh.LoadFairness <= stHigh.LoadFairness {
+		t.Fatalf("round-robin load fairness %.3f should beat sticky %.3f",
+			rrHigh.LoadFairness, stHigh.LoadFairness)
+	}
+}
+
+func TestAdmissionBoundsOverloadTail(t *testing.T) {
+	// 2× overload drill: sticky at 16k qps is ~2× past its comfortable
+	// operating point on this fixture, so the open-loop p99 blows up to
+	// tens of milliseconds. Token-bucket admission sheds the excess and
+	// restores millisecond tails, with the rejected share accounted per
+	// SLO class.
+	in, tables := fixture(t)
+	run := func(admit bool) *Result {
+		f := testFleet(t, in, tables, 4, NewSticky(4, 64), Config{Seed: 29})
+		gen, err := workload.NewGenerator(in, workload.Config{
+			Seed: 29, NumUsers: 800, UserAlpha: 0.8, SLOClasses: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.SetGenerator(gen)
+		if admit {
+			err := f.SetAdmission(AdmitConfig{Classes: []ClassAdmit{
+				{Name: "gold", RatePerSec: 3000},
+				{Name: "best-effort", RatePerSec: 2000},
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := f.Run(16000, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	open := run(false)
+	gated := run(true)
+	if open.Shed != 0 {
+		t.Fatalf("open-loop run shed %d queries without admission control", open.Shed)
+	}
+	if gated.Shed < 3000/4 {
+		t.Fatalf("admission at ~1/3 of offered load shed only %d of 3000", gated.Shed)
+	}
+	if 4*gated.Latency.P99() >= open.Latency.P99() {
+		t.Fatalf("admission should bound the overload tail: gated p99 %.6f vs open %.6f",
+			gated.Latency.P99(), open.Latency.P99())
+	}
+	// Per-class accounting: both classes offered traffic, names surface
+	// from the admission config, and every admitted query completed.
+	if len(gated.Classes) != 2 {
+		t.Fatalf("want 2 class rows, got %+v", gated.Classes)
+	}
+	admitted := 0
+	for i, c := range gated.Classes {
+		if c.Offered == 0 {
+			t.Fatalf("class %d saw no traffic: %+v", i, gated.Classes)
+		}
+		if c.Delayed != 0 {
+			t.Fatalf("shed-mode class %q reports delayed queries: %+v", c.Name, c)
+		}
+		admitted += c.Offered - c.Shed
+	}
+	if gated.Classes[0].Name != "gold" || gated.Classes[1].Name != "best-effort" {
+		t.Fatalf("class names not taken from admission config: %+v", gated.Classes)
+	}
+	if got := int(gated.Latency.Count()); got != admitted {
+		t.Fatalf("completed %d queries, admitted %d", got, admitted)
+	}
+	if gated.ClassFairness <= 0 || gated.ClassFairness > 1 {
+		t.Fatalf("class-share fairness out of range: %g", gated.ClassFairness)
+	}
+}
+
+// sloFleet assembles the full SLO-serving stack: range-granular adaptive
+// hosts under a fleet migration coordinator, a weighted router running
+// every scorer at once, a two-class workload, and admission with one shed
+// and one queue class.
+func sloFleet(t *testing.T, in *model.Instance, tables []*embedding.Table, n, workers int) (*Fleet, []*adapt.Adapter) {
+	t.Helper()
+	scfg := core.Config{
+		Seed: 7, Ring: uring.Config{SGL: true}, CacheBytes: 1 << 16,
+		ReserveSM: true, MigrationRangeBytes: 16 << 10,
+		Placement: placement.Config{
+			Policy: placement.SMOnlyWithCache, UserTablesOnly: true,
+		},
+	}
+	hosts, err := HostSet(in, tables, n, &scfg, serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapters, coord, err := AttachCoordinated(hosts, adapt.Config{
+		Interval: 100 * time.Millisecond, BandwidthBytesPerSec: 8 << 20,
+		ChunkBytes: 16 << 10, DRAMBudget: 5 * (96 << 10) / 2,
+		Granularity: adapt.Ranges, WearDaysPerSecond: 0.005,
+	}, CoordConfig{Slot: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewWeightedRouter("slo-weighted",
+		ScorerWeight{Scorer: NewAffinityScorer(n, 64), Weight: 1.0},
+		ScorerWeight{Scorer: NewQueueScorer(), Weight: 0.4},
+		ScorerWeight{Scorer: NewMigrationAvoidScorer(), Weight: 1.2},
+		ScorerWeight{Scorer: NewLoadBalanceScorer(), Weight: 0.1},
+		ScorerWeight{Scorer: NewWearScorer(), Weight: 0.2},
+		ScorerWeight{Scorer: NewFMServedScorer(), Weight: 0.3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(hosts, router, Config{Seed: 11, HostWorkers: workers, Windows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetCoordinator(coord)
+	f.SetAdapters(adapters)
+	if err := f.SetAdmission(AdmitConfig{Classes: []ClassAdmit{
+		{Name: "gold", RatePerSec: 200, Burst: 20},
+		{Name: "bulk", RatePerSec: 120, Burst: 4, Queue: true},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(in, workload.Config{
+		Seed: 11, NumUsers: 800, UserAlpha: 0.9, Spatial: true, SLOClasses: 2,
+		Drift: workload.DriftConfig{HotTables: 2, HotBoost: 4, ColdShrink: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetGenerator(gen)
+	return f, adapters
+}
+
+func TestSLOFleetDeterministicAcrossWorkers(t *testing.T) {
+	// The SLO-stack determinism contract: scorer routing reads only
+	// synced virtual-time state, token buckets run on arrival order, and
+	// class accounting folds at aggregation — so the full stack (all six
+	// scorers + admission + coordinator + drift) stays bit-identical at
+	// any worker count.
+	in, tables := adaptiveFixture(t)
+	var keys []string
+	for _, workers := range []int{1, 4} {
+		f, adapters := sloFleet(t, in, tables, 3, workers)
+		if _, err := f.Run(300, 600); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.ScheduleDrift(0.5); err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(300, 900)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			if len(res.Classes) != 2 {
+				t.Fatalf("want 2 class rows, got %+v", res.Classes)
+			}
+			var activity int
+			for _, c := range res.Classes {
+				activity += c.Shed + c.Delayed
+			}
+			if activity == 0 {
+				t.Fatalf("admission never engaged: %+v", res.Classes)
+			}
+			if res.LoadFairness <= 0 || res.ClassFairness <= 0 {
+				t.Fatalf("fairness indices empty: load=%g class=%g",
+					res.LoadFairness, res.ClassFairness)
+			}
+		}
+		key := resultKey(t, res)
+		for _, c := range res.Classes {
+			key += c.String()
+		}
+		key += AdapterStats(adapters).String()
+		keys = append(keys, key)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[0] {
+			t.Fatalf("SLO fleet diverged across worker counts:\n%s\nvs\n%s", keys[0], keys[i])
+		}
 	}
 }
 

@@ -55,6 +55,34 @@ type WindowStat struct {
 	SMWriteBytes uint64
 }
 
+// ClassResult is one SLO class's share of a fleet run: offered versus
+// shed counts from admission control, queue-admission delay, and the
+// admitted queries' latency tail (p50/p99/p999).
+type ClassResult struct {
+	Class int
+	// Name is the admission config's label for the class ("class<i>"
+	// when unnamed or unconfigured).
+	Name string
+	// Offered counts the class's arrivals; Shed the ones admission
+	// rejected (never routed); Delayed the ones a queue-mode bucket
+	// admitted late, with MeanDelay their mean admission delay in
+	// seconds.
+	Offered   int
+	Shed      int
+	Delayed   int
+	MeanDelay float64
+	// Latency is the admitted queries' latency histogram.
+	Latency *stats.Histogram
+}
+
+// ShedShare returns the class's rejected fraction.
+func (c ClassResult) ShedShare() float64 {
+	if c.Offered == 0 {
+		return 0
+	}
+	return float64(c.Shed) / float64(c.Offered)
+}
+
 // Result is the outcome of one Fleet.Run.
 type Result struct {
 	Policy     string
@@ -73,6 +101,19 @@ type Result struct {
 	// drive-writes-per-day utilization at the run's write rate.
 	SMWriteBytes uint64
 	DWPDUtil     float64
+
+	// Shed counts the queries admission control rejected fleet-wide
+	// (Queries includes them; Latency and the rate metrics do not).
+	Shed int
+	// LoadFairness is the Jain fairness index of the per-host routed
+	// query counts over alive hosts (1 = perfectly even).
+	LoadFairness float64
+	// ClassFairness is the Jain fairness index of the per-class admitted
+	// shares (admitted/offered); 0 when the run tracked no classes.
+	ClassFairness float64
+	// Classes is the per-SLO-class breakdown, populated when the run saw
+	// more than one class or admission control was installed.
+	Classes []ClassResult
 
 	Hosts   []HostResult
 	Windows []WindowStat
@@ -188,6 +229,55 @@ func (f *Fleet) aggregate(qps float64, start, lastArrival simclock.Time, records
 	}
 	res.Hosts = hosts
 
+	// Routed-load fairness over alive hosts (the per-host-load Jain index).
+	var loads []float64
+	for i := range hosts {
+		if f.members[i].alive {
+			loads = append(loads, float64(hosts[i].Queries))
+		}
+	}
+	res.LoadFairness = stats.JainFairness(loads)
+
+	// Per-SLO-class breakdown: populated when the run saw multiple
+	// classes or admission control was installed.
+	if len(f.classOffered) > 1 || f.admission != nil {
+		nc := len(f.classOffered)
+		if nc == 0 {
+			nc = 1
+		}
+		classes := make([]ClassResult, nc)
+		for c := range classes {
+			classes[c] = ClassResult{Class: c, Name: fmt.Sprintf("class%d", c), Latency: stats.NewHistogram()}
+			if f.admission != nil {
+				classes[c].Name = f.admission.cfg.className(c)
+			}
+			if c < len(f.classOffered) {
+				classes[c].Offered = f.classOffered[c]
+			}
+			if c < len(f.classShed) {
+				classes[c].Shed = f.classShed[c]
+				res.Shed += f.classShed[c]
+			}
+			if c < len(f.classDelayed) && f.classDelayed[c] > 0 {
+				classes[c].Delayed = f.classDelayed[c]
+				classes[c].MeanDelay = f.classDelay[c] / float64(f.classDelayed[c])
+			}
+		}
+		for _, r := range records {
+			if r.ok && r.class >= 0 && r.class < nc {
+				classes[r.class].Latency.Observe((r.done - r.arrive).Seconds())
+			}
+		}
+		var shares []float64
+		for _, c := range classes {
+			if c.Offered > 0 {
+				shares = append(shares, float64(c.Offered-c.Shed)/float64(c.Offered))
+			}
+		}
+		res.ClassFairness = stats.JainFairness(shares)
+		res.Classes = classes
+	}
+
 	res.Windows = windowize(records, start, lastArrival, f.cfg.Windows)
 	if fired {
 		res.ReroutedUsers = len(f.rerouted)
@@ -291,6 +381,13 @@ func (w WindowStat) String() string {
 		w.Start, w.End, w.Queries, w.MeanLat, w.P99, w.MaxLat, w.HitRate, w.FMRate, w.RangeRate, w.SMPerQuery, w.SMWriteBytes)
 }
 
+// String renders one SLO class's share of the run.
+func (c ClassResult) String() string {
+	return fmt.Sprintf("%s offered=%d shed=%d delayed=%d delay=%.6f p50=%.6f p99=%.6f p999=%.6f",
+		c.Name, c.Offered, c.Shed, c.Delayed, c.MeanDelay,
+		c.Latency.P50(), c.Latency.P99(), c.Latency.P999())
+}
+
 // String renders the fleet headline.
 func (r *Result) String() string {
 	return fmt.Sprintf("%s: qps=%.0f/%.0f p50=%.2fms p95=%.2fms p99=%.2fms hit=%.1f%%",
@@ -317,6 +414,17 @@ func (r *Result) Print(w io.Writer) {
 		for i, win := range r.Windows {
 			fmt.Fprintf(w, "w%-9d %8d %10.2f %10.2f %10.1f %8.1f %8.1f\n",
 				i, win.Queries, win.MeanLat*1e3, win.P99*1e3, win.HitRate*100, win.FMRate*100, win.SMPerQuery)
+		}
+	}
+	if len(r.Classes) > 0 {
+		fmt.Fprintf(w, "admission: shed %d/%d (%.1f%%), host-load Jain=%.3f, class-share Jain=%.3f\n",
+			r.Shed, r.Queries, 100*float64(r.Shed)/float64(r.Queries), r.LoadFairness, r.ClassFairness)
+		fmt.Fprintf(w, "%-10s %8s %8s %8s %10s %10s %10s %10s\n",
+			"class", "offered", "shed", "delayed", "delay(ms)", "p50(ms)", "p99(ms)", "p999(ms)")
+		for _, c := range r.Classes {
+			fmt.Fprintf(w, "%-10s %8d %8d %8d %10.2f %10.2f %10.2f %10.2f\n",
+				c.Name, c.Offered, c.Shed, c.Delayed, c.MeanDelay*1e3,
+				c.Latency.P50()*1e3, c.Latency.P99()*1e3, c.Latency.P999()*1e3)
 		}
 	}
 	if r.SMWriteBytes > 0 {

@@ -67,6 +67,7 @@ var registry = []struct {
 	{"drift", "adaptive tiering: hot-set rotation, re-placement, capped migration", Drift},
 	{"rowrange", "hot-row-range migration: move rows, not tables, under one bandwidth cap", RowRange},
 	{"coord", "fleet-coordinated, wear-aware migration windows: staggered vs lockstep under drift", Coord},
+	{"slo", "SLO-aware serving: scorer-weighted routing, utilization knee, per-class admission", SLO},
 	{"sgl", "§4.1.1: SGL sub-block read savings", SGL},
 	{"mmap", "§4.1: mmap vs DIRECT_IO", Mmap},
 	{"deprune", "§4.5: de-pruning at load time", Deprune},

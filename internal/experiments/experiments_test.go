@@ -34,7 +34,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "tab1", "fig3", "tab2", "fig4", "fig5", "fig6",
 		"tab3", "tab4", "tab8", "tab9", "tab10", "tab11", "cluster", "drift",
-		"rowrange", "coord", "sgl", "mmap", "deprune", "dequant", "interop", "polling", "warmup", "update",
+		"rowrange", "coord", "slo", "sgl", "mmap", "deprune", "dequant", "interop", "polling", "warmup", "update",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -343,6 +343,62 @@ func TestCoord(t *testing.T) {
 	// The coordinated run repeated at HostWorkers=4 must be bit-identical.
 	if !res.WorkersDeterministic {
 		t.Fatal("coordinated drill diverged across HostWorkers counts")
+	}
+}
+
+func TestSLO(t *testing.T) {
+	// The SLO-aware serving acceptance drill, asserted deterministically
+	// for the fixed seed. Like the coord drill it runs at its canonical
+	// Default scale: the routing margin lives in the drill's congestion
+	// regime, which the scale's query count and QPS jointly set.
+	resAny, err := Run("slo", Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resAny.(*SLOResult)
+
+	// Acceptance: under the coordinated drift drill the migration-aware
+	// weighted router beats sticky hashing on post-rotation fleet p99…
+	if res.WeightedPeakP99 >= res.StickyPeakP99 {
+		t.Fatalf("weighted peak post-rotation p99 %.2fms not below sticky %.2fms",
+			res.WeightedPeakP99*1e3, res.StickyPeakP99*1e3)
+	}
+	// …while keeping the FM-served rate within one point.
+	if d := res.WeightedFinalFM - res.StickyFinalFM; d < -0.01 || d > 0.01 {
+		t.Fatalf("weighted final FM rate %.3f drifted more than 1 point from sticky %.3f",
+			res.WeightedFinalFM, res.StickyFinalFM)
+	}
+
+	// Acceptance: the utilization sweep reproduces the BLIS crossover —
+	// sticky's locality win at low load, round-robin's even spread
+	// winning the tail once the hottest replica saturates.
+	if res.LowHitSticky <= res.LowHitRR {
+		t.Fatalf("sticky low-load hit rate %.3f should beat round-robin %.3f",
+			res.LowHitSticky, res.LowHitRR)
+	}
+	if res.StickyP99[0] > 2*res.RRP99[0] {
+		t.Fatalf("low-load sticky p99 %.2fms should stay comparable to rr %.2fms",
+			res.StickyP99[0]*1e3, res.RRP99[0]*1e3)
+	}
+	if res.StickyP99[2] < 4*res.RRP99[2] {
+		t.Fatalf("high-load sticky p99 %.2fms should exceed 4x rr %.2fms",
+			res.StickyP99[2]*1e3, res.RRP99[2]*1e3)
+	}
+
+	// Acceptance: per-class admission bounds the 2x-overload tail, and the
+	// bound's cost is a visible, accounted shed share.
+	if 4*res.GatedP99 > res.OpenP99 {
+		t.Fatalf("gated p99 %.2fms not at least 4x below open-loop %.2fms",
+			res.GatedP99*1e3, res.OpenP99*1e3)
+	}
+	if res.ShedShare < 0.25 {
+		t.Fatalf("2x overload should shed a substantial share, got %.2f", res.ShedShare)
+	}
+
+	// The weighted drill and the gated overload repeated at HostWorkers=4
+	// must be bit-identical.
+	if !res.WorkersDeterministic {
+		t.Fatal("slo drill diverged across HostWorkers counts")
 	}
 }
 

@@ -272,6 +272,29 @@ func (w *Welford) Var() float64 {
 // Stddev returns the sample standard deviation.
 func (w *Welford) Stddev() float64 { return math.Sqrt(w.Var()) }
 
+// JainFairness returns Jain's fairness index (Σx)²/(n·Σx²) over the
+// finite entries of xs — the standard allocation-evenness measure for
+// non-negative shares (per-host load, per-class admitted throughput). It
+// is 1.0 when all entries are equal, 1/n when a single entry holds
+// everything, and 0 for an empty or all-zero input. NaN and ±Inf entries
+// are skipped.
+func JainFairness(xs []float64) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
 // Ratio formats a/b defensively.
 func Ratio(a, b float64) float64 {
 	if b == 0 {

@@ -309,3 +309,33 @@ func TestResetAndMergeRestoreSentinels(t *testing.T) {
 		t.Fatalf("median of {3,5} = %g, want 3 (nearest rank)", q)
 	}
 }
+
+func TestJainFairness(t *testing.T) {
+	// Uniform allocation is perfectly fair.
+	if got := JainFairness([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("uniform Jain = %g, want 1", got)
+	}
+	// A single hot entry among n scores 1/n.
+	if got := JainFairness([]float64{9, 0, 0}); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("single-hot Jain = %g, want 1/3", got)
+	}
+	// Empty and all-zero inputs score 0.
+	if got := JainFairness(nil); got != 0 {
+		t.Fatalf("empty Jain = %g, want 0", got)
+	}
+	if got := JainFairness([]float64{0, 0}); got != 0 {
+		t.Fatalf("all-zero Jain = %g, want 0", got)
+	}
+	// NaN and Inf entries are skipped, not propagated.
+	if got := JainFairness([]float64{math.NaN(), 3, 3, math.Inf(1)}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NaN-skipping Jain = %g, want 1", got)
+	}
+	if got := JainFairness([]float64{math.NaN()}); got != 0 {
+		t.Fatalf("all-NaN Jain = %g, want 0", got)
+	}
+	// A mild skew lands strictly between 1/n and 1.
+	got := JainFairness([]float64{4, 2, 2})
+	if !(got > 1.0/3 && got < 1) {
+		t.Fatalf("skewed Jain = %g, want in (1/3, 1)", got)
+	}
+}

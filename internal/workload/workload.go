@@ -39,8 +39,12 @@ func (op TableOp) TotalLookups() int {
 }
 
 // Query is one inference request: a user and the ops across all tables.
+// Class is the query's SLO class (0 unless Config.SLOClasses partitions
+// the population), consumed by the cluster front-end's admission control
+// and per-class tail accounting.
 type Query struct {
 	UserID int64
+	Class  int
 	Ops    []TableOp
 }
 
@@ -80,7 +84,13 @@ type Config struct {
 	// Drift makes the stream non-stationary (hot-set rotation, diurnal
 	// user-mix shift, flash crowds). The zero value is fully stationary.
 	Drift DriftConfig
-	Seed  uint64
+	// SLOClasses partitions the user population into that many service
+	// classes, tagged on every Query.Class by sticky user hash
+	// (UserPartition) — deterministic, no extra RNG draws, so enabling
+	// classes never perturbs the generated stream. <= 1 leaves every
+	// query in class 0.
+	SLOClasses int
+	Seed       uint64
 }
 
 // Generator produces queries for a model instance.
@@ -118,6 +128,9 @@ func NewGenerator(inst *model.Instance, cfg Config) (*Generator, error) {
 	}
 	if cfg.ItemAlpha == 0 {
 		cfg.ItemAlpha = 1.1
+	}
+	if cfg.SLOClasses < 0 {
+		return nil, fmt.Errorf("workload: SLOClasses must be >= 0, got %d", cfg.SLOClasses)
 	}
 	drift, err := cfg.Drift.validate()
 	if err != nil {
@@ -191,6 +204,9 @@ func (g *Generator) Next() Query {
 	}
 	user := g.driftUser(g.userZ.Rank(g.rng))
 	q := Query{UserID: user}
+	if g.cfg.SLOClasses > 1 {
+		q.Class = UserPartition(user, g.cfg.SLOClasses)
+	}
 	nUser := g.inst.Config.NumUserTables
 	userBatch := 1
 	if g.cfg.EvalMode {

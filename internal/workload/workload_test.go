@@ -292,3 +292,39 @@ func TestGeneratorDefaults(t *testing.T) {
 		t.Fatal("instance accessor")
 	}
 }
+
+func TestSLOClassTagging(t *testing.T) {
+	in := smallInstance(t)
+
+	// Class tagging draws nothing from the stream RNG: the tagged stream
+	// is the untagged stream plus labels.
+	base := newGen(t, in, Config{Seed: 9, NumUsers: 500}).GenerateTrace(300)
+	tagged := newGen(t, in, Config{Seed: 9, NumUsers: 500, SLOClasses: 3}).GenerateTrace(300)
+	seen := make(map[int]int)
+	for i := range base {
+		if base[i].UserID != tagged[i].UserID {
+			t.Fatalf("query %d: user %d != %d — class tagging perturbed the stream", i, base[i].UserID, tagged[i].UserID)
+		}
+		if base[i].Class != 0 {
+			t.Fatalf("query %d: untagged stream has class %d", i, base[i].Class)
+		}
+		c := tagged[i].Class
+		if c < 0 || c >= 3 {
+			t.Fatalf("query %d: class %d out of [0, 3)", i, c)
+		}
+		if c != UserPartition(tagged[i].UserID, 3) {
+			t.Fatalf("query %d: class %d is not the sticky user partition", i, c)
+		}
+		seen[c]++
+	}
+	if len(seen) < 2 {
+		t.Fatalf("300 queries over 500 users landed in %d class(es): %v", len(seen), seen)
+	}
+	// SLOClasses <= 1 leaves everything in class 0; negative is rejected.
+	if q := newGen(t, in, Config{Seed: 9, SLOClasses: 1}).Next(); q.Class != 0 {
+		t.Fatalf("SLOClasses=1 tagged class %d", q.Class)
+	}
+	if _, err := NewGenerator(in, Config{SLOClasses: -1}); err == nil {
+		t.Fatal("negative SLOClasses should be rejected")
+	}
+}

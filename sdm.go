@@ -56,6 +56,7 @@ import (
 	"sdm/internal/placement"
 	"sdm/internal/serving"
 	"sdm/internal/simclock"
+	"sdm/internal/stats"
 	"sdm/internal/uring"
 	"sdm/internal/workload"
 )
@@ -139,6 +140,54 @@ type (
 	Router = cluster.Router
 	// CacheSnapshot is a point-in-time view of a host's cache counters.
 	CacheSnapshot = serving.CacheSnapshot
+)
+
+// SLO-aware serving types: composable routing scorers, per-class
+// token-bucket admission control, and per-SLO-class tail accounting.
+// Queries carry classes via WorkloadConfig.SLOClasses; admission is
+// installed with Fleet.SetAdmission.
+type (
+	// FleetView is the per-decision host-signal surface scorers read
+	// (liveness, queue depths, migration state, wear, FM-served rate).
+	FleetView = cluster.View
+	// Scorer scores one host for one query in [0, 1].
+	Scorer = cluster.Scorer
+	// ScorerWeight pairs a Scorer with its weight in a WeightedRouter.
+	ScorerWeight = cluster.ScorerWeight
+	// WeightedRouter routes to the weighted-sum argmax host with a
+	// rotating-scan tie-break; RR/LOQ/Sticky are scorer configs of it.
+	WeightedRouter = cluster.WeightedRouter
+	// AdmitConfig is the fleet's per-class admission policy.
+	AdmitConfig = cluster.AdmitConfig
+	// ClassAdmit is one SLO class's token-bucket admission policy.
+	ClassAdmit = cluster.ClassAdmit
+	// ClassResult is one SLO class's share of a fleet run (offered,
+	// shed, delayed, and the admitted tail).
+	ClassResult = cluster.ClassResult
+)
+
+// SLO-aware serving constructors.
+var (
+	// NewWeightedRouter composes a router from weighted scorers.
+	NewWeightedRouter = cluster.NewWeightedRouter
+	// ParseScorers parses a "name=weight,..." scorer spec.
+	ParseScorers = cluster.ParseScorers
+	// ParseAdmit parses a "name=rate[:burst][:queue|shed],..." admission
+	// spec.
+	ParseAdmit = cluster.ParseAdmit
+	// NewAffinityScorer scores the sticky ring owner 1, others 0.
+	NewAffinityScorer = cluster.NewAffinityScorer
+	// NewQueueScorer scores hosts by inverse outstanding-queue depth.
+	NewQueueScorer = cluster.NewQueueScorer
+	// NewLoadBalanceScorer scores hosts by routed-count deficit.
+	NewLoadBalanceScorer = cluster.NewLoadBalanceScorer
+	// NewMigrationAvoidScorer penalizes hosts actively migrating inside
+	// a granted window (half penalty for backlog awaiting one).
+	NewMigrationAvoidScorer = cluster.NewMigrationAvoidScorer
+	// NewWearScorer scores hosts by SM endurance headroom.
+	NewWearScorer = cluster.NewWearScorer
+	// NewFMServedScorer scores hosts by their FM-served rate.
+	NewFMServedScorer = cluster.NewFMServedScorer
 )
 
 // Adaptive-tiering types: the online control loop that re-evaluates the
@@ -281,6 +330,11 @@ func NewGenerator(inst *Instance, cfg WorkloadConfig) (*Generator, error) {
 func NewHost(inst *Instance, store *Store, flat []*Table, gen *Generator, clock *Clock, cfg HostConfig) (*Host, error) {
 	return serving.NewHost(inst, store, flat, gen, clock, cfg)
 }
+
+// JainFairness returns the Jain fairness index of xs (1 = perfectly
+// even, 1/n = maximally skewed) — the fleet reports use it for per-host
+// load and per-class admitted shares.
+func JainFairness(xs []float64) float64 { return stats.JainFairness(xs) }
 
 // Spec returns the Table 1 catalog entry for an SM technology.
 func Spec(t Technology) TechSpec { return blockdev.Spec(t) }
