@@ -169,9 +169,17 @@ func (s *admitState) admit(class int, t simclock.Time) (simclock.Time, bool) {
 	}
 	// Delay admission until the missing fraction of a token accrues; the
 	// accrued token is consumed on admission, so the bucket stays empty.
-	wait := (1 - b.tokens) / b.rate
+	// Accrual is measured from b.last — the point up to which tokens have
+	// already been credited (a prior queued admission pushes it into the
+	// future) — never from the arrival itself, so overlapping waits don't
+	// double-count the same accrual window and queued admissions serialize
+	// at 1/rate spacing.
+	base := b.last
+	if base < t {
+		base = t
+	}
+	at := base + simclock.Time(((1-b.tokens)/b.rate)*float64(time.Second))
 	b.tokens = 0
-	at := t + simclock.Time(wait*float64(time.Second))
 	if at < t {
 		at = t
 	}

@@ -227,7 +227,10 @@ type affinityScorer struct {
 
 // NewAffinityScorer returns the cache-affinity scorer: 1 for the host
 // owning q.UserID on a consistent-hash ring (dead owners fall through
-// clockwise via View.Alive), 0 otherwise. vnodes <= 0 selects 64.
+// clockwise via View.Alive), 0 otherwise. vnodes <= 0 selects 64. The
+// hosts count must match the fleet the scorer is routed against; Score
+// panics on a mismatch rather than silently pinning users to a subset
+// (hosts too small) or degrading affinity to rotation (hosts too large).
 func NewAffinityScorer(hosts, vnodes int) Scorer {
 	return affinityScorer{ring: NewRing(hosts, vnodes)}
 }
@@ -235,6 +238,10 @@ func NewAffinityScorer(hosts, vnodes int) Scorer {
 func (affinityScorer) Name() string   { return "affinity" }
 func (affinityScorer) Feedback() bool { return false }
 func (s affinityScorer) Score(q workload.Query, _ simclock.Time, host int, v View) float64 {
+	if s.ring.Hosts() != v.Hosts() {
+		panic(fmt.Sprintf("cluster: affinity scorer ring built for %d hosts routed against a %d-host fleet",
+			s.ring.Hosts(), v.Hosts()))
+	}
 	if s.ring.Owner(q.UserID, v.Alive) == host {
 		return 1
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"sdm/internal/serving"
 	"sdm/internal/simclock"
@@ -325,5 +326,42 @@ func TestTokenBucketAdmission(t *testing.T) {
 	// Unconfigured classes pass through untouched.
 	if at, ok := qs.admit(5, sec); !ok || at != sec {
 		t.Fatalf("unconfigured class should pass through, got at=%v ok=%t", at, ok)
+	}
+}
+
+func TestQueueAdmissionBoundsSustainedRate(t *testing.T) {
+	// Regression: queued admissions must serialize at 1/rate spacing even
+	// when arrivals outpace the bucket. The broken version measured each
+	// wait from the arrival's own timestamp, double-counting overlapping
+	// accrual windows, so a 10/s bucket offered 1000/s admitted at ~909/s.
+	const (
+		rate = 10.0
+		n    = 100
+	)
+	s := newAdmitState(AdmitConfig{Classes: []ClassAdmit{{RatePerSec: rate, Burst: 1, Queue: true}}})
+	gap := simclock.Time(time.Millisecond) // 1000/s offered, 100x the rate
+	var first, last simclock.Time
+	prev := simclock.Time(-1)
+	for i := 0; i < n; i++ {
+		at, ok := s.admit(0, simclock.Time(i)*gap)
+		if !ok {
+			t.Fatalf("queue-mode bucket shed arrival %d", i)
+		}
+		if at < prev {
+			t.Fatalf("admission times regressed: arrival %d admitted at %v after %v", i, at, prev)
+		}
+		prev = at
+		if i == 0 {
+			first = at
+		}
+		last = at
+	}
+	// n admissions from a burst-1 bucket need at least (n-1)/rate seconds
+	// of accrual after the first: the admitted rate is bounded by the
+	// configured rate regardless of the offered rate.
+	minSpan := simclock.Time(float64(n-1) / rate * float64(time.Second))
+	if span := last - first; span < minSpan {
+		t.Fatalf("admitted %d queries over %v, want >= %v (rate %g/s not bounded)",
+			n, time.Duration(span), time.Duration(minSpan), rate)
 	}
 }

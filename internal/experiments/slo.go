@@ -273,8 +273,8 @@ func SLO(sc Scale) (Result, error) {
 		res.RRP99 = append(res.RRP99, rrSweep[i].Latency.P99())
 		res.StickyP99 = append(res.StickyP99, stSweep[i].Latency.P99())
 	}
-	if openLoop.Queries > 0 {
-		res.ShedShare = float64(gated.Shed) / float64(gated.Shed+int(gated.Latency.Count()))
+	if d := gated.Shed + int(gated.Latency.Count()); d > 0 {
+		res.ShedShare = float64(gated.Shed) / float64(d)
 	}
 
 	res.id = "slo"
