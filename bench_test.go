@@ -212,6 +212,78 @@ func BenchmarkFleetRouting(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetRoutingTraced measures the decision-trace layer's
+// wall-clock overhead on the BenchmarkFleetRouting weighted fixture:
+// trace=off is the guarded zero-overhead path (SetTrace never called,
+// identical to BenchmarkFleetRouting/policy=weighted6), trace=
+// counterfactual collects every route decision with top-k alternatives
+// and runs the completion-time re-scoring pass. Virtual-time results are
+// identical across the rows — tracing never perturbs the simulation.
+func BenchmarkFleetRoutingTraced(b *testing.B) {
+	cfg := M1()
+	cfg.NumUserTables = 5
+	cfg.NumItemTables = 3
+	cfg.ItemBatch = 4
+	cfg.TotalBytes = 1 << 21
+	cfg.NumMLPLayers = 4
+	cfg.AvgMLPWidth = 64
+	inst, err := Build(cfg, 1, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables, err := inst.Materialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const hosts = 4
+	for _, level := range []TraceLevel{TraceOff, TraceCounterfactual} {
+		b.Run("trace="+level.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				scfg := Config{Seed: 31, Ring: RingConfig{SGL: true}, CacheBytes: 1 << 15}
+				hs, err := NewFleetHosts(inst, tables, hosts, &scfg, HostConfig{
+					Spec: HWSS(), InterOp: true, Seed: 31,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sws, err := ParseScorers(
+					"affinity=1,queue=0.4,loadbal=0.1,migavoid=1.2,wear=0.2,fmserved=0.3", hosts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := NewWeightedRouter("weighted6", sws...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fl, err := NewFleet(hs, r, FleetConfig{Seed: 31})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if level != TraceOff {
+					if err := fl.SetTrace(TraceConfig{Level: level}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				gen, err := NewGenerator(inst, WorkloadConfig{Seed: 31, NumUsers: 800, UserAlpha: 0.8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fl.SetGenerator(gen)
+				res, err := fl.Run(2000, 600)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Latency.P99()*1e6, "p99_us")
+					if res.Trace != nil {
+						b.ReportMetric(float64(res.Trace.Events), "traceEvents")
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkQueryEngine measures wall-clock query throughput of the
 // sharded parallel engine at Parallelism=1 vs all cores. Virtual-time
 // accounting is bit-identical at both settings; the ns/op ratio is the

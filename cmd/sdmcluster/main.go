@@ -11,6 +11,8 @@
 //	           [-drift f] [-adapt] [-hottables k] [-itemtables k] [-migbw bytes/s]
 //	           [-coord] [-slot d] [-wear days/s]
 //	           [-scorers spec] [-sloclasses k] [-admit spec]
+//	           [-trace file] [-trace-level off|summary|decisions|counterfactual]
+//	           [-counterfactual-k n]
 //
 // Examples:
 //
@@ -28,6 +30,9 @@
 //	sdmcluster -sloclasses 2 -admit gold=300:30,best-effort=200:20:queue
 //	                                       # tag queries with SLO classes and
 //	                                       # gate each class's admitted rate
+//	sdmcluster -policy weighted -trace trace.jsonl -trace-level counterfactual
+//	                                       # record why every decision went the
+//	                                       # way it did, with runner-up regret
 //
 // Virtual-time results are bit-identical for a fixed seed at any -workers
 // value; the flag only changes wall-clock time.
@@ -46,6 +51,7 @@ import (
 	"sdm/internal/cluster"
 	"sdm/internal/core"
 	"sdm/internal/model"
+	"sdm/internal/obs"
 	"sdm/internal/placement"
 	"sdm/internal/serving"
 	"sdm/internal/uring"
@@ -90,6 +96,9 @@ func run(args []string) error {
 		scorers  = fs.String("scorers", "affinity=1,queue=0.4,migavoid=1.2", "weighted-policy scorer spec: name=weight,... (names: affinity, queue, loadbal, migavoid, wear, fmserved)")
 		sloCls   = fs.Int("sloclasses", 0, "partition users into this many SLO classes by sticky hash (0 = untagged)")
 		admit    = fs.String("admit", "", "per-class admission spec: name=rate[:burst][:queue|shed],... in class order (empty = no admission control)")
+		trace    = fs.String("trace", "", "write the measured run's decision trace as JSONL to this file (requires a single -policy)")
+		traceLvl = fs.String("trace-level", "off", "decision-trace level: off, summary, decisions, or counterfactual (-trace implies decisions)")
+		cfK      = fs.Int("counterfactual-k", 0, "rejected route alternatives recorded per decision (0 = min(2, hosts-1); must be < -hosts)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,6 +155,25 @@ func run(args []string) error {
 	if err := acfg.Validate(); err != nil {
 		return err
 	}
+	// Trace flags validate at flag-parse time like -scorers/-admit: an
+	// unknown level or an out-of-range -counterfactual-k is a clear error
+	// here, never a silent clamp after the model builds.
+	level, err := obs.ParseLevel(*traceLvl)
+	if err != nil {
+		return err
+	}
+	if *trace != "" && level == obs.LevelOff {
+		level = obs.LevelDecisions
+	}
+	switch {
+	case *cfK < 0:
+		return fmt.Errorf("-counterfactual-k must be >= 0 (0 = min(2, hosts-1)), got %d", *cfK)
+	case *cfK > *hosts-1:
+		return fmt.Errorf("-counterfactual-k %d exceeds the %d rejected alternatives a %d-host fleet can have", *cfK, *hosts-1, *hosts)
+	case *trace != "" && *policy == "all":
+		return fmt.Errorf("-trace writes one run's trace; pick a single -policy, not %q", *policy)
+	}
+	tcfg := obs.Config{Level: level, CounterfactualK: *cfK}
 
 	policies, err := pickPolicies(*policy, *hosts, *scorers)
 	if err != nil {
@@ -240,6 +268,11 @@ func run(args []string) error {
 				return err
 			}
 		}
+		if level != obs.LevelOff {
+			if err := fl.SetTrace(tcfg); err != nil {
+				return err
+			}
+		}
 		gen, err := workload.NewGenerator(inst, wcfg)
 		if err != nil {
 			return err
@@ -263,6 +296,19 @@ func run(args []string) error {
 		res, err := fl.Run(*qps, *queries)
 		if err != nil {
 			return err
+		}
+		if *trace != "" {
+			tf, err := os.Create(*trace)
+			if err != nil {
+				return err
+			}
+			if err := fl.WriteTrace(tf); err != nil {
+				tf.Close()
+				return err
+			}
+			if err := tf.Close(); err != nil {
+				return err
+			}
 		}
 		if *asJSON {
 			rep := jsonReport(res)
@@ -353,6 +399,9 @@ func jsonReport(r *cluster.Result) map[string]any {
 	}
 	if r.DriftFired {
 		out["drift_at_s"] = r.DriftAt.Seconds()
+	}
+	if r.Trace != nil {
+		out["trace"] = r.Trace
 	}
 	if len(r.Classes) > 0 {
 		out["shed"] = r.Shed

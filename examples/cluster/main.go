@@ -151,5 +151,51 @@ func run() error {
 		fmt.Printf("    %-12s offered=%4d shed=%4d p99=%.2fms\n",
 			c.Name, c.Offered, c.Shed, c.Latency.P99()*1e3)
 	}
+
+	// Decision tracing: rerun the gated overload with the observability
+	// layer on. Every routing and admission verdict is recorded with its
+	// reasoning (per-scorer score parts, rejected alternatives, bucket
+	// levels) and merged in virtual-time order — the trace is
+	// bit-identical at any HostWorkers setting, like the results. At
+	// TraceCounterfactual each route row also carries what the runner-up
+	// host would likely have cost.
+	hs, err := sdm.NewFleetHosts(inst, tables, hosts, &scfg, hcfg)
+	if err != nil {
+		return err
+	}
+	fleet, err := sdm.NewFleet(hs, weighted, sdm.FleetConfig{Seed: 42})
+	if err != nil {
+		return err
+	}
+	if err := fleet.SetAdmission(gate); err != nil {
+		return err
+	}
+	if err := fleet.SetTrace(sdm.TraceConfig{Level: sdm.TraceCounterfactual}); err != nil {
+		return err
+	}
+	gen, err := sdm.NewGenerator(inst, sdm.WorkloadConfig{
+		Seed: 42, NumUsers: 2000, UserAlpha: 0.8, SLOClasses: 2,
+	})
+	if err != nil {
+		return err
+	}
+	fleet.SetGenerator(gen)
+	if _, err := fleet.Run(12000, 3000); err != nil {
+		return err
+	}
+	sum, _ := fleet.TraceSummary()
+	fmt.Println("\ndecision trace (same gated run, observability on):")
+	fmt.Printf("  %s\n", sum)
+	for _, ev := range fleet.TraceEvents() {
+		if ev.Kind != "route" || !ev.Route.Diverted {
+			continue
+		}
+		d := ev.Route
+		fmt.Printf("  first diverted route: seq=%d user=%d host %d -> %d (score %.2f, %d alts recorded)\n",
+			d.Seq, d.User, d.Prev, d.Chosen, d.Score, len(d.Alts))
+		break
+	}
+	fmt.Printf("  full JSONL stream: fleet.WriteTrace(w) — %d events, summary line last\n",
+		sum.Events)
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"sdm/internal/obs"
 	"sdm/internal/placement"
 	"sdm/internal/simclock"
 
@@ -183,6 +184,10 @@ type Adapter struct {
 	nextEval simclock.Time
 	stats    Stats
 
+	// tracer receives each evaluation's plan verdicts (nil = tracing
+	// off, the default).
+	tracer *obs.Collector
+
 	// pending is the scratch buffer the busy set is collected into.
 	pending []Move
 }
@@ -266,6 +271,14 @@ func (a *Adapter) windowDemoteBudget() int64 {
 // schedule must be a pure function of virtual time — see WindowFn.
 func (a *Adapter) SetWindows(fn WindowFn) { a.act.SetWindows(fn) }
 
+// SetTracer installs the decision-trace collector this adapter's plan
+// verdicts are recorded into (nil detaches — the zero-overhead default).
+// The fleet wires this up from Fleet.SetTrace.
+func (a *Adapter) SetTracer(c *obs.Collector) {
+	a.tracer = c
+	a.pol.SetExplain(c != nil)
+}
+
 // Telemetry exposes the decayed per-table and per-range view (for
 // experiments and CLIs).
 func (a *Adapter) Telemetry() *Telemetry { return a.telem }
@@ -304,6 +317,9 @@ func (a *Adapter) BeforeAdmit(now simclock.Time) {
 	// (its slot frees by the next one).
 	a.pending = a.act.AppendPending(a.pending[:0])
 	plan := a.pol.Plan(a.telem, a.store, a.pending, a.wearBudget(now))
+	for _, d := range plan.Decisions {
+		a.tracer.Plan(now, d)
+	}
 	a.act.Reconcile(a.agreesWith(plan))
 	a.act.Enqueue(plan.Moves)
 	a.act.Advance(now)

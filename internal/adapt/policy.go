@@ -12,6 +12,7 @@ package adapt
 
 import (
 	"sdm/internal/core"
+	"sdm/internal/obs"
 	"sdm/internal/placement"
 )
 
@@ -30,6 +31,11 @@ type Plan struct {
 	// DesiredRange records, at range granularity, each scored
 	// (table, range) candidate's verdict, keyed by RangeKey.
 	DesiredRange map[int64]bool
+	// Decisions explains each candidate whose desired placement differs
+	// from its current one — promote/demote when a final move covers it,
+	// defer (busy or cap) when not. Populated only under SetExplain; the
+	// default path does no extra work.
+	Decisions []obs.PlanDecision
 }
 
 // RangeKey packs a (table, range) pair into the DesiredRange map key.
@@ -42,6 +48,10 @@ type Policy struct {
 	cfg    Config
 	budget int64
 
+	// explain populates Plan.Decisions (the decision tracer's view);
+	// off by default.
+	explain bool
+
 	// scratch buffers reused across evaluations.
 	cands []rangeCand
 	items []placement.RangeItem
@@ -51,6 +61,45 @@ type Policy struct {
 // the FM byte budget the knapsack packs against.
 func NewPolicy(cfg Config, budget int64) *Policy {
 	return &Policy{cfg: cfg.defaulted(), budget: budget}
+}
+
+// SetExplain toggles Plan.Decisions population (decision tracing).
+func (p *Policy) SetExplain(on bool) { p.explain = on }
+
+// explainCand renders one changed candidate's verdict: a final move
+// covering it in the wanted direction makes it a promote/demote, a
+// pending move makes it a busy defer, and everything else was truncated
+// by the per-eval cap.
+func explainCand(moves []Move, d obs.PlanDecision, busy, wantPromote, whole bool, lo, hi int64, wear placement.WearBudget) obs.PlanDecision {
+	d.WearWindowBytes = wear.WindowBytes
+	d.WearSpentBytes = wear.SpentBytes
+	if busy {
+		d.Action, d.Reason = "defer", "busy"
+		return d
+	}
+	covered := false
+	for _, m := range moves {
+		if m.Table != d.Table || m.Promote != wantPromote {
+			continue
+		}
+		if !m.Ranged {
+			covered = true
+			break
+		}
+		if !whole && lo >= m.Lo && hi <= m.Hi {
+			covered = true
+			break
+		}
+	}
+	switch {
+	case !covered:
+		d.Action, d.Reason = "defer", "cap"
+	case wantPromote:
+		d.Action = "promote"
+	default:
+		d.Action = "demote"
+	}
+	return d
 }
 
 // Plan derives the next move plan from the telemetry view, the store's
@@ -127,7 +176,21 @@ func (p *Policy) planTables(telem *Telemetry, store *core.Store, pending []Move,
 	if len(moves) > p.cfg.MaxMigrationsPerEval {
 		moves = moves[:p.cfg.MaxMigrationsPerEval]
 	}
-	return Plan{Moves: moves, DesiredWhole: desired}
+	plan := Plan{Moves: moves, DesiredWhole: desired}
+	if p.explain {
+		for i, c := range cands {
+			if desired[c.table] == c.inFM {
+				continue
+			}
+			it := p.items[i]
+			d := obs.PlanDecision{Table: c.table, Range: -1, Density: it.Density, Bytes: it.Bytes, DemoteBytes: it.DemoteBytes}
+			if c.inFM {
+				d.Hysteresis = p.cfg.Hysteresis
+			}
+			plan.Decisions = append(plan.Decisions, explainCand(moves, d, busy[c.table], !c.inFM, true, 0, 0, wear))
+		}
+	}
+	return plan
 }
 
 // rangeCand carries one knapsack item plus the move metadata PackRanges
@@ -273,5 +336,21 @@ func (p *Policy) planRanges(telem *Telemetry, store *core.Store, pending []Move,
 	if len(moves) > p.cfg.MaxMigrationsPerEval {
 		moves = moves[:p.cfg.MaxMigrationsPerEval]
 	}
-	return Plan{Moves: moves, DesiredWhole: desiredWhole, DesiredRange: desiredRange}
+	plan := Plan{Moves: moves, DesiredWhole: desiredWhole, DesiredRange: desiredRange}
+	if p.explain {
+		for i, c := range p.cands {
+			if desired[i] == c.resident {
+				continue
+			}
+			d := obs.PlanDecision{Table: c.item.Table, Range: int64(c.item.Range), Density: c.item.Density, Bytes: c.item.Bytes, DemoteBytes: c.item.DemoteBytes}
+			if c.whole {
+				d.Range = -1
+			}
+			if c.resident {
+				d.Hysteresis = p.cfg.Hysteresis
+			}
+			plan.Decisions = append(plan.Decisions, explainCand(moves, d, c.busy, !c.resident, c.whole, c.lo, c.hi, wear))
+		}
+	}
+	return plan
 }

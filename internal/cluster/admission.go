@@ -141,16 +141,18 @@ func newAdmitState(cfg AdmitConfig) *admitState {
 }
 
 // admit runs one arrival at t through its class bucket. It returns the
-// admission time (>= t; later only for queued classes) and whether the
-// query was admitted at all. Arrivals must be offered in non-decreasing
-// time order — the routing loop's natural order.
-func (s *admitState) admit(class int, t simclock.Time) (simclock.Time, bool) {
+// admission time (>= t; later only for queued classes), the bucket's
+// token level after accrual and before this query's charge (-1 for
+// unbucketed classes — the decision tracer's bucket-level signal), and
+// whether the query was admitted at all. Arrivals must be offered in
+// non-decreasing time order — the routing loop's natural order.
+func (s *admitState) admit(class int, t simclock.Time) (simclock.Time, float64, bool) {
 	if class < 0 || class >= len(s.buckets) {
-		return t, true
+		return t, -1, true
 	}
 	b := &s.buckets[class]
 	if b.rate <= 0 {
-		return t, true
+		return t, -1, true
 	}
 	if !b.primed {
 		// The bucket starts full at the first arrival it governs.
@@ -160,12 +162,13 @@ func (s *admitState) admit(class int, t simclock.Time) (simclock.Time, bool) {
 		b.tokens = math.Min(b.burst, b.tokens+(t-b.last).Seconds()*b.rate)
 		b.last = t
 	}
+	level := b.tokens
 	if b.tokens >= 1 {
 		b.tokens--
-		return t, true
+		return t, level, true
 	}
 	if !b.queue {
-		return 0, false
+		return 0, level, false
 	}
 	// Delay admission until the missing fraction of a token accrues; the
 	// accrued token is consumed on admission, so the bucket stays empty.
@@ -184,7 +187,7 @@ func (s *admitState) admit(class int, t simclock.Time) (simclock.Time, bool) {
 		at = t
 	}
 	b.last = at
-	return at, true
+	return at, level, true
 }
 
 // className renders class i's report label.

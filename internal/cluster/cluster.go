@@ -74,6 +74,10 @@ type Fleet struct {
 	adapters  []*adapt.Adapter
 	admission *admitState
 
+	// trace is the decision-trace state (SetTrace); nil when tracing is
+	// off — the zero-overhead path.
+	trace *tracer
+
 	// Per-Run per-class accounting: offered/shed/delayed counts and the
 	// summed admission delay, indexed by SLO class.
 	classOffered []int
@@ -177,7 +181,10 @@ func (f *Fleet) SetCoordinator(c *Coordinator) { f.coord = c }
 // View (View.MigrationBacklog); adapters[i] must belong to hosts[i] as
 // returned by AttachAdaptive/AttachCoordinated (nil entries are hosts
 // without adapters).
-func (f *Fleet) SetAdapters(as []*adapt.Adapter) { f.adapters = as }
+func (f *Fleet) SetAdapters(as []*adapt.Adapter) {
+	f.adapters = as
+	f.installTracers()
+}
 
 // SetAdmission installs front-end token-bucket admission control: each
 // arrival is charged against its SLO class's bucket before routing, and
@@ -351,6 +358,13 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 	f.routed = make([]int, len(f.members))
 	f.classOffered, f.classShed = nil, nil
 	f.classDelayed, f.classDelay = nil, nil
+	if f.trace != nil {
+		f.trace.reset()
+	}
+	// Tracing reads host state (Outstanding) at every decision, so it
+	// forces the same pre-decision sync a feedback router does. The sync
+	// costs wall-clock only; virtual-time results are unchanged.
+	needSync := f.router.Feedback() || f.trace != nil
 
 	view := fleetView{f}
 	t := start
@@ -379,7 +393,10 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 		f.noteOffered(q.Class)
 		at := t
 		if f.admission != nil {
-			admitAt, ok := f.admission.admit(q.Class, t)
+			admitAt, tokens, ok := f.admission.admit(q.Class, t)
+			if f.trace != nil {
+				f.traceAdmit(t, q.Class, tokens, admitAt, ok)
+			}
 			if !ok {
 				f.noteShed(q.Class)
 				records[i] = record{user: q.UserID, class: q.Class}
@@ -390,12 +407,17 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 			}
 			at = admitAt
 		}
-		if f.router.Feedback() {
+		if needSync {
 			if runErr = f.syncAll(); runErr != nil {
 				break
 			}
 		}
-		id := f.router.Route(q, at, view)
+		var id int
+		if f.trace != nil {
+			id = f.traceRoute(i, q, at, view)
+		} else {
+			id = f.router.Route(q, at, view)
+		}
 		if id < 0 || id >= len(f.members) || !f.members[id].alive {
 			runErr = fmt.Errorf("cluster: %s routed query %d to unavailable host %d", f.router.Name(), i, id)
 			break
@@ -426,6 +448,9 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 	wg.Wait()
 	if runErr != nil {
 		return nil, runErr
+	}
+	if f.trace != nil {
+		f.traceFinalize(records)
 	}
 	return f.aggregate(qps, start, t, records, fired, drifted), nil
 }

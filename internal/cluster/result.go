@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"sdm/internal/obs"
 	"sdm/internal/serving"
 	"sdm/internal/simclock"
 	"sdm/internal/stats"
@@ -117,6 +118,10 @@ type Result struct {
 
 	Hosts   []HostResult
 	Windows []WindowStat
+
+	// Trace aggregates the run's decision trace (nil when tracing is
+	// off); the full event stream is Fleet.TraceEvents/WriteTrace.
+	Trace *obs.Summary
 
 	// Drift drill outputs, populated for the Run in which a scheduled
 	// hot-set rotation fired (DriftFired): the rotation instant, for
@@ -278,6 +283,11 @@ func (f *Fleet) aggregate(qps float64, start, lastArrival simclock.Time, records
 		res.Classes = classes
 	}
 
+	if f.trace != nil {
+		sum := f.trace.summary
+		res.Trace = &sum
+	}
+
 	res.Windows = windowize(records, start, lastArrival, f.cfg.Windows)
 	if fired {
 		res.ReroutedUsers = len(f.rerouted)
@@ -434,6 +444,16 @@ func (r *Result) Print(w io.Writer) {
 		}
 		fmt.Fprintf(w, "wear: %.2f MB SM writes this run (lifetime %.2f MB), projected DWPD utilization %.3f\n",
 			float64(r.SMWriteBytes)/(1<<20), float64(lifetime)/(1<<20), r.DWPDUtil)
+	}
+	if r.Trace != nil {
+		s := r.Trace
+		fmt.Fprintf(w, "trace[%s]: routes=%d diversions=%d (%.1f%%) admits=%d sheds=%d delays=%d plan=+%d/-%d defer=%d (busy %d, cap %d)\n",
+			s.Level, s.Routes, s.Diversions, 100*s.DiversionRate(),
+			s.Admits, s.Sheds, s.Delays, s.Promotes, s.Demotes, s.Defers, s.DeferBusy, s.DeferCap)
+		if s.CFRows > 0 || s.DivertedCFRows > 0 {
+			fmt.Fprintf(w, "counterfactual: regret vs runner-up %+.3fms over %d rows; vs sticky host %+.3fms over %d diverted rows\n",
+				s.RegretRunnerUpSeconds*1e3, s.CFRows, s.RegretPrevSeconds*1e3, s.DivertedCFRows)
+		}
 	}
 	if r.DriftFired {
 		fmt.Fprintf(w, "drift: hot-set rotation at t=%.2fs\n", r.DriftAt.Seconds())

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+
+	"sdm/internal/simclock"
+)
+
+// rec builds one completed record arriving at a, done at d.
+func rec(user int64, a, d simclock.Time) record {
+	return record{arrive: a, done: d, user: user, host: 0, ok: true}
+}
+
+func TestWindowizeEdges(t *testing.T) {
+	recs := []record{rec(1, 0, 10), rec(2, 50, 70)}
+
+	// Degenerate spans and window counts produce no series rather than
+	// panicking or emitting zero-width windows.
+	if w := windowize(nil, 0, 100, 4); len(w) != 4 {
+		t.Fatalf("empty records should still yield the window frames, got %d", len(w))
+	}
+	if w := windowize(recs, 0, 100, 0); w != nil {
+		t.Fatalf("n=0 should yield nil, got %v", w)
+	}
+	if w := windowize(recs, 100, 100, 4); w != nil {
+		t.Fatalf("end==start should yield nil, got %v", w)
+	}
+	if w := windowize(recs, 100, 50, 4); w != nil {
+		t.Fatalf("end<start should yield nil, got %v", w)
+	}
+	// A span narrower than the window count (integer width 0) is refused.
+	if w := windowize(recs, 0, 3, 4); w != nil {
+		t.Fatalf("sub-resolution span should yield nil, got %v", w)
+	}
+
+	// A single record landing exactly on the last arrival: the final
+	// window's half-open bound is widened to include it.
+	one := []record{rec(1, 100, 110)}
+	w := windowize(one, 0, 100, 4)
+	if len(w) != 4 {
+		t.Fatalf("want 4 windows, got %d", len(w))
+	}
+	var total int
+	for _, win := range w {
+		total += win.Queries
+	}
+	if total != 1 || w[3].Queries != 1 {
+		t.Fatalf("final arrival lost at the boundary: %+v", w)
+	}
+	// Interior bounds stay half-open: an arrival at a window edge counts
+	// exactly once, in the later window.
+	edge := []record{rec(1, 25, 30)}
+	w = windowize(edge, 0, 100, 4)
+	if w[0].Queries != 0 || w[1].Queries != 1 {
+		t.Fatalf("edge arrival double- or mis-counted: %+v", w[:2])
+	}
+}
+
+func TestWindowOverBounds(t *testing.T) {
+	recs := []record{
+		rec(1, 10, 20),
+		rec(2, 19, 40),
+		rec(3, 20, 25),         // exactly at hi — excluded
+		{arrive: 15, done: 30}, // !ok: dropped mid-run, never aggregated
+		rec(4, 9, 12),          // below lo
+	}
+	w := windowOver(recs, 10, 20)
+	if w.Queries != 2 {
+		t.Fatalf("[10,20) should hold exactly 2 records, got %d", w.Queries)
+	}
+	if w.Start != 10 || w.End != 20 {
+		t.Fatalf("window bounds not preserved: %+v", w)
+	}
+	// Mean over the two included latencies (10ns and 21ns).
+	if w.MeanLat <= 0 || w.MeanLat > 21e-9 {
+		t.Fatalf("mean latency implausible: %v", w.MeanLat)
+	}
+
+	// An empty window keeps its zero stats (no NaNs from 0/0).
+	empty := windowOver(recs, 500, 600)
+	if empty.Queries != 0 || empty.MeanLat != 0 || empty.SMPerQuery != 0 {
+		t.Fatalf("empty window not zero-valued: %+v", empty)
+	}
+}
+
+func TestAffectedSplitBoundary(t *testing.T) {
+	rerouted := map[int64]struct{}{1: {}, 2: {}}
+	recs := []record{
+		rec(1, 10, 20),                  // pre
+		rec(2, 50, 80),                  // arrival exactly at the failure instant — post
+		rec(1, 60, 90),                  // post
+		rec(3, 10, 15),                  // unaffected user: excluded from both sides
+		{arrive: 55, done: 70, user: 2}, // !ok: excluded
+	}
+	pre, post := affectedSplit(recs, rerouted, 50)
+	if pre.Queries != 1 {
+		t.Fatalf("pre split got %d queries, want 1: %+v", pre.Queries, pre)
+	}
+	if post.Queries != 2 {
+		t.Fatalf("post split got %d queries, want 2 (boundary arrival is post): %+v", post.Queries, post)
+	}
+	if pre.MeanLat <= 0 || post.MeanLat <= 0 {
+		t.Fatalf("split means empty: pre=%v post=%v", pre.MeanLat, post.MeanLat)
+	}
+
+	// No rerouted users: both sides empty, means stay zero.
+	pre, post = affectedSplit(recs, nil, 50)
+	if pre.Queries != 0 || post.Queries != 0 || pre.MeanLat != 0 || post.MeanLat != 0 {
+		t.Fatalf("empty rerouted set should yield zero splits: %+v / %+v", pre, post)
+	}
+}

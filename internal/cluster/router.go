@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sdm/internal/obs"
 	"sdm/internal/serving"
 	"sdm/internal/simclock"
 	"sdm/internal/workload"
@@ -89,6 +90,20 @@ type Scorer interface {
 	Feedback() bool
 }
 
+// ExplainedRouter is the optional Router extension the decision tracer
+// uses: RouteExplained makes exactly the same decision as Route (same
+// winner, same tie-break state advance) while filling d with the chosen
+// host's per-scorer score decomposition and the top-k rejected
+// alternatives. Routers without it still trace, but their rows carry
+// only the chosen/previous hosts.
+type ExplainedRouter interface {
+	Router
+	// RouteExplained routes q and explains the decision into d (Chosen,
+	// Score, Parts, and up to k Alts). It must be behaviorally identical
+	// to Route.
+	RouteExplained(q workload.Query, now simclock.Time, v View, k int, d *obs.RouteDecision) int
+}
+
 // ScorerWeight pairs a Scorer with its weight in a WeightedRouter's sum.
 type ScorerWeight struct {
 	Scorer Scorer
@@ -110,6 +125,10 @@ type WeightedRouter struct {
 	scorers  []ScorerWeight
 	feedback bool
 	next     int
+
+	// scratch holds per-host scores for RouteExplained, reused across
+	// calls so tracing does not allocate per decision.
+	scratch []float64
 }
 
 // NewWeightedRouter composes scorers into a router. Weights must be
@@ -148,6 +167,15 @@ func (r *WeightedRouter) Scorers() []ScorerWeight { return r.scorers }
 // Route implements Router: argmax of the weighted score over alive hosts,
 // ties broken by rotating scan order (see type comment).
 func (r *WeightedRouter) Route(q workload.Query, now simclock.Time, v View) int {
+	best, _ := r.route(q, now, v, nil)
+	return best
+}
+
+// route is the shared decision loop: argmax with the rotating tie-break.
+// A non-nil scores slice (len >= Hosts) additionally records every alive
+// host's score (dead hosts keep NaN) — the explained path; the nil path
+// is allocation-free.
+func (r *WeightedRouter) route(q workload.Query, now simclock.Time, v View, scores []float64) (int, float64) {
 	n := v.Hosts()
 	best := -1
 	var bestScore float64
@@ -160,12 +188,60 @@ func (r *WeightedRouter) Route(q workload.Query, now simclock.Time, v View) int 
 		for _, sw := range r.scorers {
 			s += sw.Weight * sw.Scorer.Score(q, now, id, v)
 		}
+		if scores != nil {
+			scores[id] = s
+		}
 		if best < 0 || s > bestScore {
 			best, bestScore = id, s
 		}
 	}
 	if best >= 0 {
 		r.next = (best + 1) % n
+	}
+	return best, bestScore
+}
+
+// RouteExplained implements ExplainedRouter: the same decision as Route,
+// plus the chosen host's per-scorer decomposition and the top-k rejected
+// alternatives sorted by (score desc, host asc).
+func (r *WeightedRouter) RouteExplained(q workload.Query, now simclock.Time, v View, k int, d *obs.RouteDecision) int {
+	n := v.Hosts()
+	if cap(r.scratch) < n {
+		r.scratch = make([]float64, n)
+	}
+	scores := r.scratch[:n]
+	for i := range scores {
+		scores[i] = math.NaN() // NaN marks hosts never scored (dead)
+	}
+	best, bestScore := r.route(q, now, v, scores)
+	d.Chosen = best
+	if best < 0 {
+		return best
+	}
+	d.Score = bestScore
+	// Scorers are pure, so re-scoring the winner per scorer is free of
+	// side effects and matches the summed decision exactly.
+	for _, sw := range r.scorers {
+		d.Parts = append(d.Parts, obs.ScorePart{
+			Scorer: sw.Scorer.Name(),
+			Weight: sw.Weight,
+			Score:  sw.Scorer.Score(q, now, best, v),
+		})
+	}
+	for id := 0; id < n; id++ {
+		if id == best || math.IsNaN(scores[id]) {
+			continue
+		}
+		d.Alts = append(d.Alts, obs.AltScore{Host: id, Score: scores[id], Gap: bestScore - scores[id]})
+	}
+	sort.SliceStable(d.Alts, func(i, j int) bool {
+		if d.Alts[i].Score != d.Alts[j].Score {
+			return d.Alts[i].Score > d.Alts[j].Score
+		}
+		return d.Alts[i].Host < d.Alts[j].Host
+	})
+	if k >= 0 && len(d.Alts) > k {
+		d.Alts = d.Alts[:k]
 	}
 	return best
 }

@@ -300,7 +300,7 @@ func TestTokenBucketAdmission(t *testing.T) {
 	s := newAdmitState(AdmitConfig{Classes: []ClassAdmit{{RatePerSec: 1, Burst: 2}}})
 	admits := 0
 	for i := 0; i < 5; i++ {
-		if _, ok := s.admit(0, sec); ok {
+		if _, _, ok := s.admit(0, sec); ok {
 			admits++
 		}
 	}
@@ -308,23 +308,23 @@ func TestTokenBucketAdmission(t *testing.T) {
 		t.Fatalf("burst-2 bucket admitted %d of 5 simultaneous arrivals, want 2", admits)
 	}
 	// One second later exactly one token has accrued.
-	if _, ok := s.admit(0, 2*sec); !ok {
+	if _, _, ok := s.admit(0, 2*sec); !ok {
 		t.Fatal("refilled bucket should admit")
 	}
-	if _, ok := s.admit(0, 2*sec); ok {
+	if _, _, ok := s.admit(0, 2*sec); ok {
 		t.Fatal("drained bucket should shed")
 	}
 	// Queue mode delays admission to the next token instead of shedding.
 	qs := newAdmitState(AdmitConfig{Classes: []ClassAdmit{{RatePerSec: 2, Burst: 1, Queue: true}}})
-	if at, ok := qs.admit(0, sec); !ok || at != sec {
+	if at, _, ok := qs.admit(0, sec); !ok || at != sec {
 		t.Fatalf("first arrival should admit immediately, got at=%v ok=%t", at, ok)
 	}
-	at, ok := qs.admit(0, sec)
+	at, _, ok := qs.admit(0, sec)
 	if !ok || at != sec+sec/2 {
 		t.Fatalf("queued arrival should admit half a second later, got at=%v ok=%t", at, ok)
 	}
 	// Unconfigured classes pass through untouched.
-	if at, ok := qs.admit(5, sec); !ok || at != sec {
+	if at, _, ok := qs.admit(5, sec); !ok || at != sec {
 		t.Fatalf("unconfigured class should pass through, got at=%v ok=%t", at, ok)
 	}
 }
@@ -343,7 +343,7 @@ func TestQueueAdmissionBoundsSustainedRate(t *testing.T) {
 	var first, last simclock.Time
 	prev := simclock.Time(-1)
 	for i := 0; i < n; i++ {
-		at, ok := s.admit(0, simclock.Time(i)*gap)
+		at, _, ok := s.admit(0, simclock.Time(i)*gap)
 		if !ok {
 			t.Fatalf("queue-mode bucket shed arrival %d", i)
 		}

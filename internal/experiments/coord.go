@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"sdm/internal/core"
 	"sdm/internal/embedding"
 	"sdm/internal/model"
+	"sdm/internal/obs"
 	"sdm/internal/placement"
 	"sdm/internal/serving"
 	"sdm/internal/uring"
@@ -41,8 +43,16 @@ type CoordResult struct {
 	LockDWPDUtil, CoordDWPDUtil float64
 
 	// WorkersDeterministic reports whether the coordinated run repeated
-	// at a different HostWorkers count was bit-identical.
+	// at a different HostWorkers count was bit-identical — including its
+	// rendered decision trace.
 	WorkersDeterministic bool
+
+	// Placement-decision trace counts from the coordinated run: per-eval
+	// promote/demote verdicts and the deferred candidates split by reason
+	// (busy = a pending move already covers it, cap = truncated by the
+	// per-eval migration cap).
+	PlanPromotes, PlanDemotes        int
+	PlanDefers, PlanBusy, PlanCapped int
 }
 
 // coordModel is the fleet-coordination regime: the rowrange drill's
@@ -129,7 +139,7 @@ func Coord(sc Scale) (Result, error) {
 		lockstep             // nh hosts, independent unpaced adapters
 		coord                // nh hosts, staggered windows + shared cap + wear budget
 	)
-	run := func(m mode, workers int) (*cluster.Result, adapt.Stats, error) {
+	run := func(m mode, workers int, trace obs.Level) (*cluster.Result, adapt.Stats, []obs.Event, error) {
 		nh := hosts
 		fleetQPS := qps
 		if m == single {
@@ -147,7 +157,7 @@ func Coord(sc Scale) (Result, error) {
 		hcfg := serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: sc.Seed}
 		hs, err := cluster.HostSet(inst, tables, nh, &scfg, hcfg)
 		if err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
 		}
 		acfg := adapt.Config{
 			Interval:       150 * time.Millisecond,
@@ -172,13 +182,22 @@ func Coord(sc Scale) (Result, error) {
 			})
 		}
 		if err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
 		}
 		fl, err := cluster.New(hs, cluster.NewRoundRobin(), cluster.Config{
 			Seed: sc.Seed, Windows: windows, HostWorkers: workers,
 		})
 		if err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
+		}
+		if trace != obs.LevelOff {
+			// SetAdapters wires the per-host plan tracers; with a
+			// round-robin router the View signals it also surfaces are
+			// never read, so results are unchanged.
+			fl.SetAdapters(adapters)
+			if err := fl.SetTrace(obs.Config{Level: trace}); err != nil {
+				return nil, adapt.Stats{}, nil, err
+			}
 		}
 		// Sustained drift: the spotlight rotates periodically (roughly
 		// every 800 queries — 2s of fleet traffic, so the rotation rate is the same at every experiment scale), so endurance spend compounds
@@ -190,37 +209,52 @@ func Coord(sc Scale) (Result, error) {
 			Drift: workload.DriftConfig{HotTables: 2, HotBoost: 4, ColdShrink: 0.25, PhaseQueries: 800},
 		})
 		if err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
 		}
 		fl.SetGenerator(gen)
 		// Warmup pass: caches fill and the controllers converge on the
 		// pre-rotation spotlight.
 		if _, err := fl.Run(fleetQPS, warm); err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
 		}
 		if err := fl.ScheduleDrift(drift); err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
 		}
 		res, err := fl.Run(fleetQPS, n)
 		if err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
 		}
-		return res, cluster.AdapterStats(adapters), nil
+		return res, cluster.AdapterStats(adapters), fl.TraceEvents(), nil
 	}
 
 	var (
 		singleRes, lockRes, coordRes, coordRes2 *cluster.Result
 		lockStats, coordStats, coordStats2      adapt.Stats
+		coordEvents, coordEvents2               []obs.Event
 	)
 	err = inParallel(
-		func() (err error) { singleRes, _, err = run(single, 1); return },
-		func() (err error) { lockRes, lockStats, err = run(lockstep, 1); return },
-		func() (err error) { coordRes, coordStats, err = run(coord, 1); return },
-		func() (err error) { coordRes2, coordStats2, err = run(coord, 4); return },
+		func() (err error) { singleRes, _, _, err = run(single, 1, obs.LevelOff); return },
+		func() (err error) { lockRes, lockStats, _, err = run(lockstep, 1, obs.LevelOff); return },
+		func() (err error) { coordRes, coordStats, coordEvents, err = run(coord, 1, obs.LevelDecisions); return },
+		func() (err error) {
+			coordRes2, coordStats2, coordEvents2, err = run(coord, 4, obs.LevelDecisions)
+			return
+		},
 	)
 	if err != nil {
 		return nil, err
 	}
+	// Decision-trace fold of the coordinated run: the per-eval placement
+	// verdicts behind the adapter move counts, plus the byte-identity of
+	// the rendered trace across worker counts.
+	renderTrace := func(events []obs.Event) string {
+		var b bytes.Buffer
+		if err := obs.WriteJSONL(&b, obs.LevelDecisions, events, obs.Summarize(obs.LevelDecisions, events)); err != nil {
+			return err.Error()
+		}
+		return b.String()
+	}
+	coordSum := obs.Summarize(obs.LevelDecisions, coordEvents)
 
 	res := &CoordResult{
 		LockSMWrites:  lockRes.SMWriteBytes,
@@ -244,7 +278,13 @@ func Coord(sc Scale) (Result, error) {
 	res.CoordPeakLat = peakPostDriftLat(coordRes)
 	res.WorkersDeterministic = coordRes.String() == coordRes2.String() &&
 		finalWindow(coordRes) == finalWindow(coordRes2) &&
-		coordStats == coordStats2
+		coordStats == coordStats2 &&
+		renderTrace(coordEvents) == renderTrace(coordEvents2)
+	res.PlanPromotes = coordSum.Promotes
+	res.PlanDemotes = coordSum.Demotes
+	res.PlanDefers = coordSum.Defers
+	res.PlanBusy = coordSum.DeferBusy
+	res.PlanCapped = coordSum.DeferCap
 
 	res.id = "coord"
 	res.header = fmt.Sprintf("%-18s %8s %8s %8s %10s %14s %12s %12s %10s",
@@ -275,7 +315,10 @@ func Coord(sc Scale) (Result, error) {
 		lockStats.Promotions, lockStats.Demotions, float64(lockStats.MigratedBytes)/(1<<20),
 		coordStats.Promotions, coordStats.Demotions, float64(coordStats.MigratedBytes)/(1<<20)))
 	res.rows = append(res.rows, fmt.Sprintf(
-		"coordinated run repeated at HostWorkers=4: bit-identical=%t", res.WorkersDeterministic))
+		"trace: coordinated policy issued %d promote / %d demote verdicts, deferred %d candidates (%d busy, %d capped by the per-eval limit)",
+		res.PlanPromotes, res.PlanDemotes, res.PlanDefers, res.PlanBusy, res.PlanCapped))
+	res.rows = append(res.rows, fmt.Sprintf(
+		"coordinated run (result + decision trace) repeated at HostWorkers=4: bit-identical=%t", res.WorkersDeterministic))
 	res.notes = append(res.notes,
 		"sustained drift: the spotlight rotates periodically, so endurance spend compounds — the shared wear budget throttles what each rotation may re-shuffle",
 		"lockstep: every replica's adapter reacts to the rotation at once, unpaced — the fleet-wide migration burst lands on all replicas' devices simultaneously",

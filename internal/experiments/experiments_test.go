@@ -395,6 +395,20 @@ func TestSLO(t *testing.T) {
 		t.Fatalf("2x overload should shed a substantial share, got %.2f", res.ShedShare)
 	}
 
+	// Acceptance: the decision trace proves the PR-6 negative result
+	// per-decision — a queue weight below affinity's never moves a user —
+	// while the config-level counterfactual (both traces joined on
+	// arrival sequence) shows migration-aware routing beat sticky
+	// query-for-query after the rotation.
+	if res.QueueRoutes == 0 || res.QueueDiversions != 0 {
+		t.Fatalf("queue-below-affinity drill diverted %d of %d routes, want 0 of >0",
+			res.QueueDiversions, res.QueueRoutes)
+	}
+	if res.RegretJoined == 0 || res.RegretVsStickyMS >= 0 {
+		t.Fatalf("post-rotation regret vs sticky %+.4fms over %d joined queries, want negative over >0",
+			res.RegretVsStickyMS, res.RegretJoined)
+	}
+
 	// The weighted drill and the gated overload repeated at HostWorkers=4
 	// must be bit-identical.
 	if !res.WorkersDeterministic {

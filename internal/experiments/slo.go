@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"sdm/internal/core"
 	"sdm/internal/embedding"
 	"sdm/internal/model"
+	"sdm/internal/obs"
 	"sdm/internal/placement"
 	"sdm/internal/serving"
 	"sdm/internal/uring"
@@ -46,8 +48,30 @@ type SLOResult struct {
 
 	// WorkersDeterministic reports whether the weighted drill and the
 	// admission-gated run repeated at a different HostWorkers count were
-	// bit-identical.
+	// bit-identical — including, since the decision-trace layer landed,
+	// the weighted drill's rendered JSONL trace.
 	WorkersDeterministic bool
+
+	// Decision-trace assertions. QueueDiversions counts diverted routes
+	// in a drill whose queue weight (0.4) sits below affinity (1.0) —
+	// asserted zero, the trace-level proof of the PR-6 negative result
+	// that a sub-affinity queue term never moves a user.
+	//
+	// RegretVsStickyMS is the config-level counterfactual: the sticky and
+	// migration-aware drills consume the same deterministic arrival
+	// stream, so joining their traces on sequence number prices every
+	// post-rotation query under both routing configs. The field sums
+	// (weighted latency − sticky latency) over the joined rows; negative
+	// means the migration-aware config beat sticky query for query, not
+	// just on the aggregate tail. RegretPostPrevMS is the narrower
+	// per-decision view — mean EWMA-estimated regret vs the sticky host
+	// over the drill's post-rotation diverted decisions, zero when the
+	// measured run never diverts.
+	QueueDiversions, QueueRoutes   int
+	RegretVsStickyMS               float64
+	RegretJoined                   int
+	RegretPostPrevMS               float64
+	PostDivertedRows, DivertedRows int
 }
 
 // sloSweepModel is the utilization-sweep fixture: a small M1 derivative
@@ -112,8 +136,8 @@ func SLO(sc Scale) (Result, error) {
 
 	// runDrill executes the coordinated drift drill (identical geometry
 	// to the coord experiment's coordinated fleet) under the given
-	// router.
-	runDrill := func(mk func() (cluster.Router, error), workers int) (*cluster.Result, adapt.Stats, error) {
+	// router, tracing decisions at the given level (LevelOff = untraced).
+	runDrill := func(mk func() (cluster.Router, error), workers int, trace obs.Level) (*cluster.Result, adapt.Stats, []obs.Event, error) {
 		scfg := engineParallelism(core.Config{
 			Seed: sc.Seed, SMTech: blockdev.NandFlash,
 			Ring: uring.Config{SGL: true}, CacheBytes: 192 << 10,
@@ -125,7 +149,7 @@ func SLO(sc Scale) (Result, error) {
 		hcfg := serving.Config{Spec: serving.HWSS(), InterOp: true, Seed: sc.Seed}
 		hs, err := cluster.HostSet(drillInst, drillTables, drillHosts, &scfg, hcfg)
 		if err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
 		}
 		adapters, coord, err := cluster.AttachCoordinated(hs, adapt.Config{
 			Interval:          150 * time.Millisecond,
@@ -136,39 +160,44 @@ func SLO(sc Scale) (Result, error) {
 			WearDaysPerSecond: wearDays,
 		}, cluster.CoordConfig{Slot: slot, BandwidthBytesPerSec: cappedBW})
 		if err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
 		}
 		r, err := mk()
 		if err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
 		}
 		fl, err := cluster.New(hs, r, cluster.Config{
 			Seed: sc.Seed, Windows: windows, HostWorkers: workers,
 		})
 		if err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
 		}
 		fl.SetCoordinator(coord)
 		fl.SetAdapters(adapters)
+		if trace != obs.LevelOff {
+			if err := fl.SetTrace(obs.Config{Level: trace}); err != nil {
+				return nil, adapt.Stats{}, nil, err
+			}
+		}
 		gen, err := workload.NewGenerator(drillInst, workload.Config{
 			Seed: sc.Seed, NumUsers: 800, UserAlpha: 0.9, Spatial: true,
 			Drift: workload.DriftConfig{HotTables: 2, HotBoost: 4, ColdShrink: 0.25, PhaseQueries: 800},
 		})
 		if err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
 		}
 		fl.SetGenerator(gen)
 		if _, err := fl.Run(drillQPS, warm); err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
 		}
 		if err := fl.ScheduleDrift(drift); err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
 		}
 		res, err := fl.Run(drillQPS, nDrill)
 		if err != nil {
-			return nil, adapt.Stats{}, err
+			return nil, adapt.Stats{}, nil, err
 		}
-		return res, cluster.AdapterStats(adapters), nil
+		return res, cluster.AdapterStats(adapters), fl.TraceEvents(), nil
 	}
 	mkSticky := func() (cluster.Router, error) { return cluster.NewSticky(drillHosts, 64), nil }
 	mkWeighted := func() (cluster.Router, error) {
@@ -176,6 +205,16 @@ func SLO(sc Scale) (Result, error) {
 			cluster.ScorerWeight{Scorer: cluster.NewAffinityScorer(drillHosts, 64), Weight: 1.0},
 			cluster.ScorerWeight{Scorer: cluster.NewQueueScorer(), Weight: 0.4},
 			cluster.ScorerWeight{Scorer: cluster.NewMigrationAvoidScorer(), Weight: 1.2},
+		)
+	}
+	// The trace's control config: affinity + the same sub-affinity queue
+	// weight but no migration avoidance. PR 6 established (via aggregate
+	// tails) that this router never moves a user; the decision trace now
+	// proves it per-decision — zero diverted routes.
+	mkQueueOnly := func() (cluster.Router, error) {
+		return cluster.NewWeightedRouter("queue-below-affinity",
+			cluster.ScorerWeight{Scorer: cluster.NewAffinityScorer(drillHosts, 64), Weight: 1.0},
+			cluster.ScorerWeight{Scorer: cluster.NewQueueScorer(), Weight: 0.4},
 		)
 	}
 
@@ -224,13 +263,25 @@ func SLO(sc Scale) (Result, error) {
 	var (
 		stickyDrill, weightedDrill, weightedDrill4 *cluster.Result
 		stickyStats, weightedStats, weightedStats4 adapt.Stats
+		stickyEvents, weightedEvents               []obs.Event
+		weightedEvents4, queueEvents               []obs.Event
 		rrSweep, stSweep                           [3]*cluster.Result
 		gated, gated4                              *cluster.Result
 	)
 	jobs := []func() error{
-		func() (err error) { stickyDrill, stickyStats, err = runDrill(mkSticky, 1); return },
-		func() (err error) { weightedDrill, weightedStats, err = runDrill(mkWeighted, 1); return },
-		func() (err error) { weightedDrill4, weightedStats4, err = runDrill(mkWeighted, 4); return },
+		func() (err error) {
+			stickyDrill, stickyStats, stickyEvents, err = runDrill(mkSticky, 1, obs.LevelCounterfactual)
+			return
+		},
+		func() (err error) {
+			weightedDrill, weightedStats, weightedEvents, err = runDrill(mkWeighted, 1, obs.LevelCounterfactual)
+			return
+		},
+		func() (err error) {
+			weightedDrill4, weightedStats4, weightedEvents4, err = runDrill(mkWeighted, 4, obs.LevelCounterfactual)
+			return
+		},
+		func() (err error) { _, _, queueEvents, err = runDrill(mkQueueOnly, 1, obs.LevelCounterfactual); return },
 		func() (err error) { gated, err = runSweep(mkStickySweep, 16000, 2, &gate, 1); return },
 		func() (err error) { gated4, err = runSweep(mkStickySweep, 16000, 2, &gate, 4); return },
 	}
@@ -253,6 +304,51 @@ func SLO(sc Scale) (Result, error) {
 		}
 		return b.String()
 	}
+	// renderTrace is the determinism probe: the full counterfactual JSONL,
+	// byte for byte. The HostWorkers=1 and =4 weighted drills must render
+	// identically — the same invariant TestTraceDeterministicAcrossWorkers
+	// holds under -race in CI.
+	renderTrace := func(events []obs.Event) string {
+		var b bytes.Buffer
+		if err := obs.WriteJSONL(&b, obs.LevelCounterfactual, events, obs.Summarize(obs.LevelCounterfactual, events)); err != nil {
+			return err.Error()
+		}
+		return b.String()
+	}
+	queueSum := obs.Summarize(obs.LevelCounterfactual, queueEvents)
+	weightedSum := obs.Summarize(obs.LevelCounterfactual, weightedEvents)
+	// Post-rotation slice of the weighted drill's routing decisions: only
+	// diversions after the hot-set rotation are migration avoidance at
+	// work, so the regret-vs-sticky aggregate is computed over them.
+	var postEvents []obs.Event
+	for _, ev := range weightedEvents {
+		if ev.Kind == "route" && ev.Time >= weightedDrill.DriftAt {
+			postEvents = append(postEvents, ev)
+		}
+	}
+	postSum := obs.Summarize(obs.LevelCounterfactual, postEvents)
+	// Config-level counterfactual: both drills route the same arrival
+	// stream, so the sticky trace holds the latency every weighted-drill
+	// query would have seen under sticky routing. Join on sequence number
+	// and sum the post-rotation differences.
+	stickyLat := make(map[int]float64, len(stickyEvents))
+	for _, ev := range stickyEvents {
+		if ev.Kind == "route" && ev.Route.LatencySeconds > 0 {
+			stickyLat[ev.Route.Seq] = ev.Route.LatencySeconds
+		}
+	}
+	var regretJoined int
+	var regretSum float64
+	for _, ev := range postEvents {
+		if ev.Route.LatencySeconds <= 0 {
+			continue
+		}
+		if sl, ok := stickyLat[ev.Route.Seq]; ok {
+			regretJoined++
+			regretSum += ev.Route.LatencySeconds - sl
+		}
+	}
+
 	openLoop := stSweep[len(stSweep)-1]
 	res := &SLOResult{
 		StickyPeakP99:   peakPostDriftP99(stickyDrill),
@@ -267,7 +363,17 @@ func SLO(sc Scale) (Result, error) {
 		WorkersDeterministic: weightedDrill.String() == weightedDrill4.String() &&
 			finalWindow(weightedDrill) == finalWindow(weightedDrill4) &&
 			weightedStats == weightedStats4 &&
-			classKey(gated) == classKey(gated4),
+			classKey(gated) == classKey(gated4) &&
+			renderTrace(weightedEvents) == renderTrace(weightedEvents4),
+		QueueDiversions:  queueSum.Diversions,
+		QueueRoutes:      queueSum.Routes,
+		RegretVsStickyMS: regretSum * 1e3,
+		RegretJoined:     regretJoined,
+		DivertedRows:     weightedSum.DivertedCFRows,
+		PostDivertedRows: postSum.DivertedCFRows,
+	}
+	if postSum.DivertedCFRows > 0 {
+		res.RegretPostPrevMS = postSum.RegretPrevSeconds / float64(postSum.DivertedCFRows) * 1e3
 	}
 	for i := range sweepQPS {
 		res.RRP99 = append(res.RRP99, rrSweep[i].Latency.P99())
@@ -312,11 +418,22 @@ func SLO(sc Scale) (Result, error) {
 			c.Latency.P50()*1e3, c.Latency.P99()*1e3, c.Latency.P999()*1e3))
 	}
 	res.rows = append(res.rows, fmt.Sprintf(
-		"weighted drill and gated overload repeated at HostWorkers=4: bit-identical=%t", res.WorkersDeterministic))
+		"trace: queue(0.4) below affinity(1.0) diverted %d of %d routes; migration-aware diverted %d of %d (%.1f%%)",
+		res.QueueDiversions, res.QueueRoutes, weightedSum.Diversions, weightedSum.Routes,
+		weightedSum.DiversionRate()*100))
+	res.rows = append(res.rows, fmt.Sprintf(
+		"counterfactual: post-rotation regret vs sticky %+.3fms summed over %d queries joined across the two traces — negative means migration-aware routing beat sticky",
+		res.RegretVsStickyMS, res.RegretJoined))
+	res.rows = append(res.rows, fmt.Sprintf(
+		"  per-decision: %d diverted rows in the measured run (%d post-rotation), EWMA regret vs the sticky host %+.3fms/route",
+		res.DivertedRows, res.PostDivertedRows, res.RegretPostPrevMS))
+	res.rows = append(res.rows, fmt.Sprintf(
+		"weighted drill (result + decision trace) and gated overload repeated at HostWorkers=4: bit-identical=%t", res.WorkersDeterministic))
 	res.notes = append(res.notes,
 		"weighted router = affinity(1.0) + queue(0.4) + migration-avoid(1.2): queries divert from the replica actively migrating inside its granted window, then return",
 		"the sweep fixture's sticky fleet saturates its hottest replica near 11k qps while round-robin's even spread holds to ~24k — the BLIS utilization knee",
 		"admission: per-class token buckets (gold 3000/s burst 30, best-effort 2000/s burst 20) cap the admitted rate below the sticky knee; the p99 bound is bought with the reported shed share",
+		"decision traces (obs.LevelCounterfactual) re-score each diverted route against the sticky host's completed-latency EWMA at completion time; the config-level regret instead joins the sticky and migration-aware traces on arrival sequence and prices every query under both routers",
 	)
 	return res, nil
 }

@@ -53,6 +53,7 @@ import (
 	"sdm/internal/core"
 	"sdm/internal/embedding"
 	"sdm/internal/model"
+	"sdm/internal/obs"
 	"sdm/internal/placement"
 	"sdm/internal/serving"
 	"sdm/internal/simclock"
@@ -165,6 +166,50 @@ type (
 	// shed, delayed, and the admitted tail).
 	ClassResult = cluster.ClassResult
 )
+
+// Decision-tracing types (the observability layer): structured,
+// deterministic records of why each routing, admission, and placement
+// decision went the way it did, merged in virtual-time order so a trace
+// is bit-identical at any FleetConfig.HostWorkers setting. Install with
+// Fleet.SetTrace before Run; read the last Run's stream back with
+// Fleet.TraceEvents / Fleet.TraceSummary, or render it as JSON Lines
+// with Fleet.WriteTrace. FleetResult.Trace carries the summary.
+type (
+	// TraceConfig tunes a fleet's decision tracing (level, top-k
+	// rejected route alternatives to record and re-score).
+	TraceConfig = obs.Config
+	// TraceLevel selects collection and rendering depth.
+	TraceLevel = obs.Level
+	// TraceEvent is one decision in the merged virtual-time stream.
+	TraceEvent = obs.Event
+	// TraceSummary aggregates one run's trace: decision counts by kind
+	// and outcome, the diversion rate, and counterfactual regret.
+	TraceSummary = obs.Summary
+	// RouteDecision records one routing decision with its per-scorer
+	// score parts, top-k rejected alternatives, and (at
+	// TraceCounterfactual) their completion-time re-scoring.
+	RouteDecision = obs.RouteDecision
+	// AdmitDecision records one admission-control verdict.
+	AdmitDecision = obs.AdmitDecision
+	// PlanDecision records one placement promote/demote/defer verdict
+	// with the telemetry snapshot that justified it.
+	PlanDecision = obs.PlanDecision
+)
+
+// Trace levels, in increasing verbosity. Off is the zero-overhead
+// default; Summary collects but renders only aggregates; Decisions
+// renders every decision row; Counterfactual additionally re-scores each
+// route's rejected alternatives at completion time.
+const (
+	TraceOff            = obs.LevelOff
+	TraceSummaryOnly    = obs.LevelSummary
+	TraceDecisions      = obs.LevelDecisions
+	TraceCounterfactual = obs.LevelCounterfactual
+)
+
+// ParseTraceLevel parses a -trace-level flag value
+// (off, summary, decisions, counterfactual).
+var ParseTraceLevel = obs.ParseLevel
 
 // SLO-aware serving constructors.
 var (
