@@ -3,7 +3,7 @@
 GO ?= go
 REV ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet fmt-check test race bench bench-json bench-diff bench-gate print-bench-gated ci
+.PHONY: all build vet fmt-check test race bench bench-json bench-diff bench-gate print-bench-gated profile ci
 
 all: build test
 
@@ -62,5 +62,14 @@ print-bench-gated:
 # benchmarks against the committed baseline.
 bench-gate:
 	$(MAKE) bench-diff BENCH_DIFF_FLAGS="-tol 10 -fail-on $(BENCH_GATED)"
+
+# Wall-clock profiles of the scale-up path: a 64-host metered fleet under
+# sdmcluster with CPU + heap profiles. Phases carry pprof labels
+# (sdm_phase=route+admit/exec/migrate); slice them with e.g.
+#   go tool pprof -tagfocus sdm_phase=exec cpu.pprof
+profile:
+	$(GO) run ./cmd/sdmcluster -hosts 64 -qps 4000 -queries 8000 -policy sticky \
+		-metrics metrics.txt -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof, mem.pprof, metrics.txt"
 
 ci: build vet fmt-check test race bench

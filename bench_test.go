@@ -11,6 +11,7 @@ package sdm
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 
@@ -281,6 +282,149 @@ func BenchmarkFleetRoutingTraced(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFleetRoutingMetered measures the metrics plane's wall-clock
+// overhead on the BenchmarkFleetRouting weighted fixture: metrics=off is
+// the guarded zero-overhead path (SetMetrics never called — nil meter,
+// nothing allocated on the hot paths), metrics=on samples every host and
+// front-end instrument on 250ms virtual boundaries and renders both
+// export formats. Virtual-time results are identical across the rows —
+// metering never perturbs the simulation.
+func BenchmarkFleetRoutingMetered(b *testing.B) {
+	cfg := M1()
+	cfg.NumUserTables = 5
+	cfg.NumItemTables = 3
+	cfg.ItemBatch = 4
+	cfg.TotalBytes = 1 << 21
+	cfg.NumMLPLayers = 4
+	cfg.AvgMLPWidth = 64
+	inst, err := Build(cfg, 1, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables, err := inst.Materialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const hosts = 4
+	for _, metered := range []bool{false, true} {
+		name := "metrics=off"
+		if metered {
+			name = "metrics=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				scfg := Config{Seed: 31, Ring: RingConfig{SGL: true}, CacheBytes: 1 << 15}
+				hs, err := NewFleetHosts(inst, tables, hosts, &scfg, HostConfig{
+					Spec: HWSS(), InterOp: true, Seed: 31,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sws, err := ParseScorers(
+					"affinity=1,queue=0.4,loadbal=0.1,migavoid=1.2,wear=0.2,fmserved=0.3", hosts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := NewWeightedRouter("weighted6", sws...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fl, err := NewFleet(hs, r, FleetConfig{Seed: 31})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if metered {
+					if err := fl.SetMetrics(MetricsConfig{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				gen, err := NewGenerator(inst, WorkloadConfig{Seed: 31, NumUsers: 800, UserAlpha: 0.8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fl.SetGenerator(gen)
+				res, err := fl.Run(2000, 600)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if metered {
+					if err := fl.WriteMetrics(io.Discard); err != nil {
+						b.Fatal(err)
+					}
+					if err := fl.WriteMetricsJSONL(io.Discard); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if i == 0 {
+					b.ReportMetric(res.Latency.P99()*1e6, "p99_us")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetScale is the scale-up campaign's wall-clock anchor: one
+// 64-replica metered fleet built, warmed, measured, and rendered per
+// iteration. Virtual-time results are seed-deterministic; ns/op and
+// allocs/op track what a big-fleet campaign costs the simulator host
+// (the fleetscale experiment carries the same trajectory into
+// BENCH_<rev>.json, warn-only).
+func BenchmarkFleetScale(b *testing.B) {
+	cfg := M1()
+	cfg.NumUserTables = 5
+	cfg.NumItemTables = 3
+	cfg.ItemBatch = 4
+	cfg.TotalBytes = 1 << 21
+	cfg.NumMLPLayers = 4
+	cfg.AvgMLPWidth = 64
+	inst, err := Build(cfg, 1, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables, err := inst.Materialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const hosts = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scfg := Config{Seed: 31, Ring: RingConfig{SGL: true}, CacheBytes: 1 << 15}
+		hs, err := NewFleetHosts(inst, tables, hosts, &scfg, HostConfig{
+			Spec: HWSS(), InterOp: true, Seed: 31,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fl, err := NewFleet(hs, NewSticky(hosts, 64), FleetConfig{Seed: 31})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fl.SetMetrics(MetricsConfig{}); err != nil {
+			b.Fatal(err)
+		}
+		gen, err := NewGenerator(inst, WorkloadConfig{Seed: 31, NumUsers: 4000, UserAlpha: 0.8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fl.SetGenerator(gen)
+		if _, err := fl.Run(4000, 2000); err != nil {
+			b.Fatal(err)
+		}
+		res, err := fl.Run(4000, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fl.WriteMetrics(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Latency.P99()*1e6, "p99_us")
+			b.ReportMetric(res.AchievedQPS, "vqps")
+		}
 	}
 }
 

@@ -1,0 +1,334 @@
+// Command metricscheck validates a metrics export written by sdmcluster
+// -metrics (or cluster.Fleet.WriteMetrics / WriteMetricsJSONL). It
+// understands both formats — OpenMetrics text and JSONL — sniffing by
+// the first byte. For each it checks the structural contract the
+// deterministic metrics plane guarantees: every sample belongs to a
+// declared family, per-series timestamps never regress, counter series
+// are monotone, summary quantile labels are well-formed, and the
+// OpenMetrics stream terminates with exactly one # EOF. CI smoke-runs it
+// so the export stays machine-readable without a promtool dependency.
+//
+// Usage:
+//
+//	metricscheck <metrics.txt|metrics.jsonl> [...]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck <metrics.txt|metrics.jsonl> [...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// series tracks per-series monotonicity state, keyed by name+labels.
+type series struct {
+	lastT   int64
+	lastVal float64
+	hasVal  bool
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("empty file")
+	}
+	var samples int
+	if data[0] == '{' {
+		samples, err = checkJSONL(data)
+	} else {
+		samples, err = checkOpenMetrics(data)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: ok (%d samples)\n", path, samples)
+	return nil
+}
+
+// checkOpenMetrics validates the text exposition: samples only under a
+// declared # TYPE, per-series non-decreasing timestamps, monotone
+// counters, and a final # EOF.
+func checkOpenMetrics(data []byte) (int, error) {
+	types := map[string]string{} // family -> counter|gauge|summary
+	state := map[string]*series{}
+	var n, samples int
+	sawEOF := false
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if sawEOF {
+			return 0, fmt.Errorf("line %d: content after # EOF", n)
+		}
+		if line == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# UNIT ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return 0, fmt.Errorf("line %d: malformed TYPE line %q", n, line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "summary":
+			default:
+				return 0, fmt.Errorf("line %d: unknown metric type %q", n, fields[3])
+			}
+			if prev, ok := types[fields[2]]; ok && prev != fields[3] {
+				return 0, fmt.Errorf("line %d: family %s re-declared as %s (was %s)", n, fields[2], fields[3], prev)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return 0, fmt.Errorf("line %d: unknown comment %q", n, line)
+		}
+		name, labels, rest, err := splitSample(line)
+		if err != nil {
+			return 0, fmt.Errorf("line %d: %v", n, err)
+		}
+		kind, fam := familyOf(name, types)
+		if kind == "" {
+			return 0, fmt.Errorf("line %d: sample %s has no preceding # TYPE", n, name)
+		}
+		if kind == "summary" {
+			if err := quantileOK(name, fam, labels); err != nil {
+				return 0, fmt.Errorf("line %d: %v", n, err)
+			}
+		}
+		parts := strings.Fields(rest)
+		if len(parts) != 2 {
+			return 0, fmt.Errorf("line %d: want 'value timestamp', got %q", n, rest)
+		}
+		val, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return 0, fmt.Errorf("line %d: bad value %q: %v", n, parts[0], err)
+		}
+		tns, err := parseTimestamp(parts[1])
+		if err != nil {
+			return 0, fmt.Errorf("line %d: bad timestamp %q: %v", n, parts[1], err)
+		}
+		if err := advance(state, name+labels, tns, val, kind == "counter" || strings.HasSuffix(name, "_count")); err != nil {
+			return 0, fmt.Errorf("line %d: series %s%s: %v", n, name, labels, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if !sawEOF {
+		return 0, fmt.Errorf("missing # EOF terminator")
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples")
+	}
+	return samples, nil
+}
+
+// jsonRow mirrors the WriteMetricsJSONL schema.
+type jsonRow struct {
+	Family string            `json:"family"`
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Host   *int              `json:"host"`
+	Labels map[string]string `json:"labels"`
+	TNs    *int64            `json:"t_ns"`
+	Value  *json.Number      `json:"value"`
+}
+
+// checkJSONL validates the JSONL mirror: field presence on every row and
+// the same per-series timestamp/counter discipline.
+func checkJSONL(data []byte) (int, error) {
+	state := map[string]*series{}
+	var n, samples int
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		n++
+		var r jsonRow
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return 0, fmt.Errorf("line %d: %v", n, err)
+		}
+		if r.Family == "" || r.Name == "" {
+			return 0, fmt.Errorf("line %d: missing family/name", n)
+		}
+		if !strings.HasPrefix(r.Name, r.Family) {
+			return 0, fmt.Errorf("line %d: name %q not under family %q", n, r.Name, r.Family)
+		}
+		switch r.Kind {
+		case "counter", "gauge", "summary":
+		default:
+			return 0, fmt.Errorf("line %d: unknown kind %q", n, r.Kind)
+		}
+		if r.Host == nil || r.TNs == nil || r.Value == nil {
+			return 0, fmt.Errorf("line %d: missing host/t_ns/value", n)
+		}
+		if *r.Host < -1 {
+			return 0, fmt.Errorf("line %d: bad host %d", n, *r.Host)
+		}
+		if r.Kind == "summary" {
+			if q, ok := r.Labels["quantile"]; ok && q != "0.5" && q != "0.99" {
+				return 0, fmt.Errorf("line %d: unknown quantile %q", n, q)
+			}
+		}
+		val, err := r.Value.Float64()
+		if err != nil {
+			return 0, fmt.Errorf("line %d: bad value %q: %v", n, *r.Value, err)
+		}
+		key := r.Name + "|" + strconv.Itoa(*r.Host) + "|" + labelKey(r.Labels)
+		mono := r.Kind == "counter" || strings.HasSuffix(r.Name, "_count")
+		if err := advance(state, key, *r.TNs, val, mono); err != nil {
+			return 0, fmt.Errorf("line %d: series %s: %v", n, key, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples")
+	}
+	return samples, nil
+}
+
+// advance checks one sample against its series state: timestamps never
+// regress, and monotone series never decrease.
+func advance(state map[string]*series, key string, tns int64, val float64, mono bool) error {
+	s, ok := state[key]
+	if !ok {
+		state[key] = &series{lastT: tns, lastVal: val, hasVal: true}
+		return nil
+	}
+	if tns < s.lastT {
+		return fmt.Errorf("timestamp %d regressed below %d", tns, s.lastT)
+	}
+	if mono && s.hasVal && val < s.lastVal {
+		return fmt.Errorf("counter dropped from %g to %g", s.lastVal, val)
+	}
+	s.lastT, s.lastVal = tns, val
+	return nil
+}
+
+// parseTimestamp reads the fixed seconds.nanoseconds rendering back
+// into virtual nanoseconds.
+func parseTimestamp(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	i := strings.IndexByte(s, '.')
+	if i < 0 || len(s)-i-1 != 9 {
+		return 0, fmt.Errorf("want seconds with 9-digit nanosecond fraction")
+	}
+	sec, err := strconv.ParseInt(s[:i], 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	frac, err := strconv.ParseInt(s[i+1:], 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	ns := sec*1e9 + frac
+	if neg {
+		ns = -ns
+	}
+	return ns, nil
+}
+
+// splitSample breaks "name{labels} value ts" into its parts.
+func splitSample(line string) (name, labels, rest string, err error) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		return line[:i], line[i : j+1], strings.TrimSpace(line[j+1:]), nil
+	}
+	i := strings.IndexByte(line, ' ')
+	if i < 0 {
+		return "", "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	return line[:i], "", strings.TrimSpace(line[i:]), nil
+}
+
+// familyOf resolves a sample name to its declared family, accounting for
+// the rendered suffixes (_total for counters, _count/_sum for summaries).
+func familyOf(name string, types map[string]string) (kind, fam string) {
+	if k, ok := types[name]; ok {
+		return k, name
+	}
+	for _, suf := range []string{"_total", "_count", "_sum"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if k, ok := types[base]; ok {
+			return k, base
+		}
+	}
+	return "", ""
+}
+
+// quantileOK validates a summary sample's shape: bare family names must
+// carry a known quantile label; _count/_sum rows must not.
+func quantileOK(name, fam string, labels string) error {
+	if name != fam {
+		if strings.Contains(labels, "quantile=") {
+			return fmt.Errorf("%s row carries a quantile label", name)
+		}
+		return nil
+	}
+	if !strings.Contains(labels, `quantile="0.5"`) && !strings.Contains(labels, `quantile="0.99"`) {
+		return fmt.Errorf("summary row %s%s lacks a known quantile label", name, labels)
+	}
+	return nil
+}
+
+func labelKey(m map[string]string) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Tiny maps: insertion-order independence via selection sort.
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(m[k])
+		b.WriteByte(',')
+	}
+	return b.String()
+}

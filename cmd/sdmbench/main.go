@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	sdmbench [-full] [-scale f] [-queries n] [-seed s] [-json] <experiment>...
+//	sdmbench [-full] [-scale f] [-queries n] [-seed s] [-json]
+//	         [-cpuprofile file] [-memprofile file] <experiment>...
 //	sdmbench -list
 //	sdmbench all
 //
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"sdm/internal/experiments"
@@ -45,6 +47,8 @@ func run(args []string) error {
 		seed    = fs.Uint64("seed", 0, "override RNG seed (0 = preset)")
 		par     = fs.Int("par", 0, "experiments to run concurrently (0 = all cores, 1 = sequential)")
 		asJSON  = fs.Bool("json", false, "emit machine-readable results (JSON array) instead of tables")
+		cpuProf = fs.String("cpuprofile", "", "write a wall-clock CPU profile of the experiment run to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +96,21 @@ func run(args []string) error {
 		workers = len(ids)
 	}
 
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+
 	// Experiments are independent simulations: run them across a worker
 	// pool and print the results in request order. Each store additionally
 	// fans its query operators across all cores via the sharded engine, so
@@ -127,11 +146,26 @@ func run(args []string) error {
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(reports)
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	} else {
+		for _, res := range results {
+			res.Print(os.Stdout)
+			fmt.Println()
+		}
 	}
-	for _, res := range results {
-		res.Print(os.Stdout)
-		fmt.Println()
+	if *memProf != "" {
+		mf, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle the heap so the profile shows live bytes
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		return mf.Close()
 	}
 	return nil
 }

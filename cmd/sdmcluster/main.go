@@ -13,6 +13,8 @@
 //	           [-scorers spec] [-sloclasses k] [-admit spec]
 //	           [-trace file] [-trace-level off|summary|decisions|counterfactual]
 //	           [-counterfactual-k n]
+//	           [-metrics file] [-metrics-every d]
+//	           [-cpuprofile file] [-memprofile file]
 //
 // Examples:
 //
@@ -33,6 +35,12 @@
 //	sdmcluster -policy weighted -trace trace.jsonl -trace-level counterfactual
 //	                                       # record why every decision went the
 //	                                       # way it did, with runner-up regret
+//	sdmcluster -policy sticky -metrics metrics.txt -metrics-every 100ms
+//	                                       # export the measured run's sampled
+//	                                       # instrument series (OpenMetrics by
+//	                                       # extension; .jsonl selects JSONL)
+//	sdmcluster -cpuprofile cpu.pprof       # wall-clock profile with sdm_phase
+//	                                       # labels (route+admit/exec/migrate)
 //
 // Virtual-time results are bit-identical for a fixed seed at any -workers
 // value; the flag only changes wall-clock time.
@@ -43,8 +51,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-
 	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"sdm/internal/adapt"
 	"sdm/internal/blockdev"
@@ -99,6 +108,10 @@ func run(args []string) error {
 		trace    = fs.String("trace", "", "write the measured run's decision trace as JSONL to this file (requires a single -policy)")
 		traceLvl = fs.String("trace-level", "off", "decision-trace level: off, summary, decisions, or counterfactual (-trace implies decisions)")
 		cfK      = fs.Int("counterfactual-k", 0, "rejected route alternatives recorded per decision (0 = min(2, hosts-1); must be < -hosts)")
+		metrics  = fs.String("metrics", "", "write the measured run's metric series to this file: OpenMetrics text, or JSONL when the name ends in .jsonl (requires a single -policy)")
+		metEvery = fs.Duration("metrics-every", 0, "live metrics sampling width in virtual time (0 = default 250ms)")
+		cpuProf  = fs.String("cpuprofile", "", "write a wall-clock CPU profile to this file (phases labeled sdm_phase=route+admit/exec/migrate)")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -172,8 +185,27 @@ func run(args []string) error {
 		return fmt.Errorf("-counterfactual-k %d exceeds the %d rejected alternatives a %d-host fleet can have", *cfK, *hosts-1, *hosts)
 	case *trace != "" && *policy == "all":
 		return fmt.Errorf("-trace writes one run's trace; pick a single -policy, not %q", *policy)
+	case *metrics != "" && *policy == "all":
+		return fmt.Errorf("-metrics writes one run's series; pick a single -policy, not %q", *policy)
+	case *metEvery < 0:
+		return fmt.Errorf("-metrics-every must be >= 0 (0 = default 250ms), got %v", *metEvery)
 	}
 	tcfg := obs.Config{Level: level, CounterfactualK: *cfK}
+
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
 
 	policies, err := pickPolicies(*policy, *hosts, *scorers)
 	if err != nil {
@@ -273,6 +305,11 @@ func run(args []string) error {
 				return err
 			}
 		}
+		if *metrics != "" {
+			if err := fl.SetMetrics(cluster.MetricsConfig{Every: *metEvery}); err != nil {
+				return err
+			}
+		}
 		gen, err := workload.NewGenerator(inst, wcfg)
 		if err != nil {
 			return err
@@ -310,6 +347,25 @@ func run(args []string) error {
 				return err
 			}
 		}
+		if *metrics != "" {
+			mf, err := os.Create(*metrics)
+			if err != nil {
+				return err
+			}
+			// Format by extension: .jsonl selects the JSONL mirror, anything
+			// else the OpenMetrics text exposition. Same samples, same order.
+			write := fl.WriteMetrics
+			if strings.HasSuffix(*metrics, ".jsonl") {
+				write = fl.WriteMetricsJSONL
+			}
+			if err := write(mf); err != nil {
+				mf.Close()
+				return err
+			}
+			if err := mf.Close(); err != nil {
+				return err
+			}
+		}
 		if *asJSON {
 			rep := jsonReport(res)
 			if adapters != nil {
@@ -333,7 +389,21 @@ func run(args []string) error {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(reports)
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	}
+	if *memProf != "" {
+		mf, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle the heap so the profile shows live bytes
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		return mf.Close()
 	}
 	return nil
 }

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"strings"
 
 	"sdm"
 )
@@ -197,5 +199,60 @@ func run() error {
 	}
 	fmt.Printf("  full JSONL stream: fleet.WriteTrace(w) — %d events, summary line last\n",
 		sum.Events)
+
+	// Metrics plane: rerun the gated overload with the instrument
+	// registry attached. Hosts, stores, and the front-end register typed
+	// instruments once; the fleet samples them on virtual-time boundaries
+	// and the rendered series — OpenMetrics text or JSONL — is
+	// byte-identical at any HostWorkers setting. Print the three most
+	// load-bearing series of an overload investigation: the admitted
+	// per-window tail, who is shedding, and how FM-served each host runs.
+	hs, err = sdm.NewFleetHosts(inst, tables, hosts, &scfg, hcfg)
+	if err != nil {
+		return err
+	}
+	fleet, err = sdm.NewFleet(hs, weighted, sdm.FleetConfig{Seed: 42})
+	if err != nil {
+		return err
+	}
+	if err := fleet.SetAdmission(gate); err != nil {
+		return err
+	}
+	if err := fleet.SetMetrics(sdm.MetricsConfig{}); err != nil {
+		return err
+	}
+	gen, err = sdm.NewGenerator(inst, sdm.WorkloadConfig{
+		Seed: 42, NumUsers: 2000, UserAlpha: 0.8, SLOClasses: 2,
+	})
+	if err != nil {
+		return err
+	}
+	fleet.SetGenerator(gen)
+	if _, err := fleet.Run(12000, 3000); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := fleet.WriteMetrics(&buf); err != nil {
+		return err
+	}
+	fmt.Println("\nmetrics plane (same gated run, instruments on):")
+	for _, prefix := range []string{
+		"sdm_fleet_window_p99_latency_seconds ",
+		"sdm_fleet_class_shed_total",
+		"sdm_host_fm_served_ratio",
+	} {
+		n := 0
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Printf("  %s\n", line)
+				n++
+			}
+			if n == 4 {
+				break
+			}
+		}
+	}
+	fmt.Printf("  full export: fleet.WriteMetrics(w) — %d bytes of OpenMetrics, same bytes at any worker count\n",
+		buf.Len())
 	return nil
 }

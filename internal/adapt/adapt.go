@@ -1,11 +1,14 @@
 package adapt
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"time"
 
+	"sdm/internal/metrics"
 	"sdm/internal/obs"
 	"sdm/internal/placement"
 	"sdm/internal/simclock"
@@ -188,6 +191,11 @@ type Adapter struct {
 	// off, the default).
 	tracer *obs.Collector
 
+	// planned/deferred count plan outcomes when the metrics plane is
+	// attached (nil = metrics off, the default; all methods are no-ops).
+	planned  *metrics.Counter
+	deferred *metrics.Counter
+
 	// pending is the scratch buffer the busy set is collected into.
 	pending []Move
 }
@@ -276,7 +284,40 @@ func (a *Adapter) SetWindows(fn WindowFn) { a.act.SetWindows(fn) }
 // The fleet wires this up from Fleet.SetTrace.
 func (a *Adapter) SetTracer(c *obs.Collector) {
 	a.tracer = c
-	a.pol.SetExplain(c != nil)
+	a.pol.SetExplain(c != nil || a.planned != nil)
+}
+
+// RegisterMetrics registers the adapter's instrument catalog on r: the
+// control loop's eval/promotion/demotion/abort counters and migrated
+// bytes (func-backed by Stats), plan/defer counts per evaluation, the
+// pending-migration gauge, and the wear budget the current window packs
+// against. Deferred candidates are only knowable when the policy
+// explains its plans, so metering turns explanation on (pure
+// observation — plans and moves are unchanged). A nil registry registers
+// nothing.
+func (a *Adapter) RegisterMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.NewCounterFunc(metrics.Desc{Name: "sdm_adapt_evals", Help: "Placement re-evaluations run."},
+		func() uint64 { return uint64(a.stats.Evals) })
+	r.NewCounterFunc(metrics.Desc{Name: "sdm_adapt_promotions", Help: "Committed SM->FM moves."},
+		func() uint64 { return uint64(a.stats.Promotions) })
+	r.NewCounterFunc(metrics.Desc{Name: "sdm_adapt_demotions", Help: "Committed FM->SM moves."},
+		func() uint64 { return uint64(a.stats.Demotions) })
+	r.NewCounterFunc(metrics.Desc{Name: "sdm_adapt_aborts", Help: "Migrations abandoned mid-flight and rolled back."},
+		func() uint64 { return uint64(a.stats.Aborts) })
+	r.NewCounterFunc(metrics.Desc{Name: "sdm_adapt_migrated_bytes", Help: "Bytes moved by committed migrations.", Unit: "bytes"},
+		func() uint64 { return uint64(a.stats.MigratedBytes) })
+	a.planned = r.NewCounter(metrics.Desc{Name: "sdm_adapt_planned_moves", Help: "Moves enqueued by plan evaluations."})
+	a.deferred = r.NewCounter(metrics.Desc{Name: "sdm_adapt_deferred", Help: "Candidates wanted but deferred (busy or per-eval cap)."})
+	r.NewGaugeFunc(metrics.Desc{Name: "sdm_adapt_pending_migrations", Help: "Queued plus in-flight moves."},
+		func(simclock.Time) float64 { return float64(a.PendingMigrations()) })
+	r.NewGaugeFunc(metrics.Desc{Name: "sdm_adapt_wear_window_bytes", Help: "Demote-write allowance of the current migration window.", Unit: "bytes"},
+		func(now simclock.Time) float64 { return float64(a.wearBudget(now).WindowBytes) })
+	r.NewGaugeFunc(metrics.Desc{Name: "sdm_adapt_wear_spent_bytes", Help: "Demote-write bytes already spent in the current window.", Unit: "bytes"},
+		func(now simclock.Time) float64 { return float64(a.wearBudget(now).SpentBytes) })
+	a.pol.SetExplain(true)
 }
 
 // Telemetry exposes the decayed per-table and per-range view (for
@@ -308,21 +349,30 @@ func (a *Adapter) BeforeAdmit(now simclock.Time) {
 	for a.nextEval <= now {
 		a.nextEval += simclock.Time(a.cfg.Interval)
 	}
-	a.telem.Sample(now, a.store)
-	a.stats.Evals++
-	a.stats.LastEval = now
+	// The evaluation (telemetry sample, plan, reconcile, migration IO)
+	// is the migrate phase under a CPU profile; it runs once per
+	// interval, so the label plumbing stays off the per-query path.
+	pprof.Do(context.Background(), pprof.Labels("sdm_phase", "migrate"), func(context.Context) {
+		a.telem.Sample(now, a.store)
+		a.stats.Evals++
+		a.stats.LastEval = now
 
-	// The busy set is collected before reconciliation: a move the fresh
-	// plan is about to drop still blocks re-planning its table this eval
-	// (its slot frees by the next one).
-	a.pending = a.act.AppendPending(a.pending[:0])
-	plan := a.pol.Plan(a.telem, a.store, a.pending, a.wearBudget(now))
-	for _, d := range plan.Decisions {
-		a.tracer.Plan(now, d)
-	}
-	a.act.Reconcile(a.agreesWith(plan))
-	a.act.Enqueue(plan.Moves)
-	a.act.Advance(now)
+		// The busy set is collected before reconciliation: a move the
+		// fresh plan is about to drop still blocks re-planning its table
+		// this eval (its slot frees by the next one).
+		a.pending = a.act.AppendPending(a.pending[:0])
+		plan := a.pol.Plan(a.telem, a.store, a.pending, a.wearBudget(now))
+		for _, d := range plan.Decisions {
+			a.tracer.Plan(now, d)
+			if d.Action == "defer" {
+				a.deferred.Inc()
+			}
+		}
+		a.planned.Add(uint64(len(plan.Moves)))
+		a.act.Reconcile(a.agreesWith(plan))
+		a.act.Enqueue(plan.Moves)
+		a.act.Advance(now)
+	})
 }
 
 // wearBudget assembles the packing greedy's endurance constraint from the

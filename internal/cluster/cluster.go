@@ -20,8 +20,11 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -78,6 +81,10 @@ type Fleet struct {
 	// off — the zero-overhead path.
 	trace *tracer
 
+	// meter is the metrics-plane state (SetMetrics); nil when metrics are
+	// off — like trace, the nil path costs nothing and changes nothing.
+	meter *meter
+
 	// Per-Run per-class accounting: offered/shed/delayed counts and the
 	// summed admission delay, indexed by SLO class.
 	classOffered []int
@@ -109,6 +116,10 @@ type member struct {
 	// it. Without admission control arrivals are already monotone and the
 	// clamp never fires.
 	lastPush simclock.Time
+
+	// meter is this host's live metrics sampling state (nil = metrics
+	// off); only the member goroutine touches it.
+	meter *memberMeter
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -184,6 +195,7 @@ func (f *Fleet) SetCoordinator(c *Coordinator) { f.coord = c }
 func (f *Fleet) SetAdapters(as []*adapt.Adapter) {
 	f.adapters = as
 	f.installTracers()
+	f.installMeters()
 }
 
 // SetAdmission installs front-end token-bucket admission control: each
@@ -361,10 +373,18 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 	if f.trace != nil {
 		f.trace.reset()
 	}
+	f.meter.reset(f.members)
 	// Tracing reads host state (Outstanding) at every decision, so it
 	// forces the same pre-decision sync a feedback router does. The sync
 	// costs wall-clock only; virtual-time results are unchanged.
 	needSync := f.router.Feedback() || f.trace != nil
+
+	// Wall-clock profiling: the front-end goroutine carries the
+	// route+admit phase label for the duration of the run; host workers
+	// label themselves exec (member.loop) and adapters migrate.
+	pprofCtx := pprof.WithLabels(context.Background(), pprof.Labels("sdm_phase", "route+admit"))
+	pprof.SetGoroutineLabels(pprofCtx)
+	defer pprof.SetGoroutineLabels(context.Background())
 
 	view := fleetView{f}
 	t := start
@@ -373,6 +393,7 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 	var runErr error
 	for i := 0; i < n; i++ {
 		t += simclock.Time(f.rng.Exp(1 / qps * float64(time.Second)))
+		f.meter.feTick(t)
 		if i == driftIdx {
 			// The rotation lands between arrivals: query i is the first
 			// of the new regime.
@@ -422,9 +443,11 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 			runErr = fmt.Errorf("cluster: %s routed query %d to unavailable host %d", f.router.Name(), i, id)
 			break
 		}
-		if last, seen := f.lastHost[q.UserID]; seen && f.failed >= 0 && last == f.failed && id != f.failed {
+		last, seen := f.lastHost[q.UserID]
+		if seen && f.failed >= 0 && last == f.failed && id != f.failed {
 			f.rerouted[q.UserID] = struct{}{}
 		}
+		f.meter.noteRoute(seen, last, id)
 		f.lastHost[q.UserID] = id
 		f.routed[id]++
 		m := f.members[id]
@@ -467,6 +490,7 @@ func (f *Fleet) noteOffered(c int) {
 	if c < 0 {
 		return
 	}
+	f.meter.noteOffered(c)
 	f.classOffered = growClass(f.classOffered, c)
 	f.classOffered[c]++
 }
@@ -475,6 +499,7 @@ func (f *Fleet) noteShed(c int) {
 	if c < 0 {
 		return
 	}
+	f.meter.noteShed(c)
 	f.classShed = growClass(f.classShed, c)
 	f.classShed[c]++
 }
@@ -483,6 +508,7 @@ func (f *Fleet) noteDelayed(c int, seconds float64) {
 	if c < 0 {
 		return
 	}
+	f.meter.noteDelayed(c)
 	f.classDelayed = growClass(f.classDelayed, c)
 	f.classDelayed[c]++
 	for len(f.classDelay) <= c {
@@ -503,6 +529,8 @@ func (m *member) push(j job) {
 // loop is the member's host goroutine: drain jobs FIFO, execute under the
 // fleet-wide worker semaphore, publish each record at its query index.
 func (m *member) loop(sem chan struct{}, records []record) {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("sdm_phase", "exec", "sdm_host", strconv.Itoa(m.id))))
 	for {
 		m.mu.Lock()
 		for len(m.jobs) == 0 && !m.closed {
@@ -521,6 +549,10 @@ func (m *member) loop(sem chan struct{}, records []record) {
 		var err error
 		if !failed {
 			sem <- struct{}{}
+			// Live metrics: mark every sampling boundary crossed before
+			// this job. Admission times are non-decreasing per host, so
+			// the series depends only on the deterministic job sequence.
+			m.meter.tick(j.at)
 			before := m.host.Snapshot()
 			var done simclock.Time
 			done, err = m.host.Admit(j.at, j.q)

@@ -195,6 +195,9 @@ func (f *Fleet) aggregate(qps float64, start, lastArrival simclock.Time, records
 		res.Latency.Merge(hosts[i].Latency)
 	}
 	res.End = end
+	// Close every live metrics series with the final counter values; the
+	// host goroutines have joined, so the single-threaded mark is safe.
+	f.meter.finalLive(end)
 	elapsed := (end - start).Seconds()
 	if elapsed > 0 {
 		res.AchievedQPS = float64(res.Latency.Count()) / elapsed
@@ -288,7 +291,7 @@ func (f *Fleet) aggregate(qps float64, start, lastArrival simclock.Time, records
 		res.Trace = &sum
 	}
 
-	res.Windows = windowize(records, start, lastArrival, f.cfg.Windows)
+	res.Windows = f.deriveWindows(records, start, lastArrival, f.cfg.Windows)
 	if fired {
 		res.ReroutedUsers = len(f.rerouted)
 		pre, post := affectedSplit(records, f.rerouted, f.failedAt)
@@ -329,8 +332,13 @@ func affectedSplit(records []record, rerouted map[int64]struct{}, failedAt simcl
 	return pre, post
 }
 
-// windowize buckets records into n equal arrival-time windows.
-func windowize(records []record, start, end simclock.Time, n int) []WindowStat {
+// deriveWindows buckets records into n equal arrival-time windows in one
+// pass over the records (index order, so every per-window number is
+// independent of execution interleaving). The same derived samples mark
+// the metrics plane's per-window instruments when one is attached —
+// Result.Windows and the exported series come from a single
+// accumulation instead of parallel bookkeeping.
+func (f *Fleet) deriveWindows(records []record, start, end simclock.Time, n int) []WindowStat {
 	if n <= 0 || end <= start {
 		return nil
 	}
@@ -338,44 +346,56 @@ func windowize(records []record, start, end simclock.Time, n int) []WindowStat {
 	if width <= 0 {
 		return nil
 	}
+	type windowAccum struct {
+		queries int
+		lat     *stats.Histogram
+		delta   serving.CacheSnapshot
+	}
+	accs := make([]windowAccum, n)
+	for i := range accs {
+		accs[i].lat = stats.NewHistogram()
+	}
+	for _, r := range records {
+		// Queue-mode admission can push an arrival past the last
+		// generated arrival instant; such records fall outside every
+		// window (the final window's [lo, end] range ends at the run's
+		// last generated arrival).
+		if !r.ok || r.arrive < start || r.arrive > end {
+			continue
+		}
+		idx := int((r.arrive - start) / width)
+		if idx >= n {
+			idx = n - 1 // the remainder region belongs to the final window
+		}
+		a := &accs[idx]
+		a.queries++
+		a.lat.Observe((r.done - r.arrive).Seconds())
+		a.delta = a.delta.Add(r.delta)
+	}
 	out := make([]WindowStat, 0, n)
-	for i := 0; i < n; i++ {
+	for i := range accs {
 		lo := start + simclock.Time(i)*width
 		hi := lo + width
 		if i == n-1 {
 			hi = end + 1 // include the final arrival
 		}
-		out = append(out, windowOver(records, lo, hi))
+		w := WindowStat{Start: lo, End: hi}
+		a := &accs[i]
+		if a.queries > 0 {
+			w.Queries = a.queries
+			w.MeanLat = a.lat.Mean()
+			w.P99 = a.lat.P99()
+			w.MaxLat = a.lat.Max()
+			w.HitRate = a.delta.HitRate()
+			w.FMRate = a.delta.FMServedRate()
+			w.RangeRate = a.delta.RangeServedRate()
+			w.SMPerQuery = float64(a.delta.SMReads) / float64(w.Queries)
+			w.SMWriteBytes = a.delta.SMWriteBytes
+		}
+		f.meter.markWindow(w, a.lat.P50())
+		out = append(out, w)
 	}
 	return out
-}
-
-// windowOver aggregates the records whose arrival falls in [lo, hi).
-func windowOver(records []record, lo, hi simclock.Time) WindowStat {
-	w := WindowStat{Start: lo, End: hi}
-	lat := stats.NewHistogram()
-	var delta serving.CacheSnapshot
-	var foundAny bool
-	for _, r := range records {
-		if !r.ok || r.arrive < lo || r.arrive >= hi {
-			continue
-		}
-		foundAny = true
-		w.Queries++
-		lat.Observe((r.done - r.arrive).Seconds())
-		delta = delta.Add(r.delta)
-	}
-	if foundAny {
-		w.MeanLat = lat.Mean()
-		w.P99 = lat.P99()
-		w.MaxLat = lat.Max()
-		w.HitRate = delta.HitRate()
-		w.FMRate = delta.FMServedRate()
-		w.RangeRate = delta.RangeServedRate()
-		w.SMPerQuery = float64(delta.SMReads) / float64(w.Queries)
-		w.SMWriteBytes = delta.SMWriteBytes
-	}
-	return w
 }
 
 // String renders one host's share of the run.

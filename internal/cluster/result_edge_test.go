@@ -13,30 +13,31 @@ func rec(user int64, a, d simclock.Time) record {
 
 func TestWindowizeEdges(t *testing.T) {
 	recs := []record{rec(1, 0, 10), rec(2, 50, 70)}
+	f := &Fleet{} // no meter: the derivation runs exactly as unmetered
 
 	// Degenerate spans and window counts produce no series rather than
 	// panicking or emitting zero-width windows.
-	if w := windowize(nil, 0, 100, 4); len(w) != 4 {
+	if w := f.deriveWindows(nil, 0, 100, 4); len(w) != 4 {
 		t.Fatalf("empty records should still yield the window frames, got %d", len(w))
 	}
-	if w := windowize(recs, 0, 100, 0); w != nil {
+	if w := f.deriveWindows(recs, 0, 100, 0); w != nil {
 		t.Fatalf("n=0 should yield nil, got %v", w)
 	}
-	if w := windowize(recs, 100, 100, 4); w != nil {
+	if w := f.deriveWindows(recs, 100, 100, 4); w != nil {
 		t.Fatalf("end==start should yield nil, got %v", w)
 	}
-	if w := windowize(recs, 100, 50, 4); w != nil {
+	if w := f.deriveWindows(recs, 100, 50, 4); w != nil {
 		t.Fatalf("end<start should yield nil, got %v", w)
 	}
 	// A span narrower than the window count (integer width 0) is refused.
-	if w := windowize(recs, 0, 3, 4); w != nil {
+	if w := f.deriveWindows(recs, 0, 3, 4); w != nil {
 		t.Fatalf("sub-resolution span should yield nil, got %v", w)
 	}
 
 	// A single record landing exactly on the last arrival: the final
 	// window's half-open bound is widened to include it.
 	one := []record{rec(1, 100, 110)}
-	w := windowize(one, 0, 100, 4)
+	w := f.deriveWindows(one, 0, 100, 4)
 	if len(w) != 4 {
 		t.Fatalf("want 4 windows, got %d", len(w))
 	}
@@ -50,36 +51,40 @@ func TestWindowizeEdges(t *testing.T) {
 	// Interior bounds stay half-open: an arrival at a window edge counts
 	// exactly once, in the later window.
 	edge := []record{rec(1, 25, 30)}
-	w = windowize(edge, 0, 100, 4)
+	w = f.deriveWindows(edge, 0, 100, 4)
 	if w[0].Queries != 0 || w[1].Queries != 1 {
 		t.Fatalf("edge arrival double- or mis-counted: %+v", w[:2])
 	}
 }
 
-func TestWindowOverBounds(t *testing.T) {
+func TestDeriveWindowsBounds(t *testing.T) {
+	f := &Fleet{}
 	recs := []record{
 		rec(1, 10, 20),
 		rec(2, 19, 40),
-		rec(3, 20, 25),         // exactly at hi — excluded
+		rec(3, 20, 25),         // exactly at the interior edge — later window
 		{arrive: 15, done: 30}, // !ok: dropped mid-run, never aggregated
-		rec(4, 9, 12),          // below lo
+		rec(4, 9, 12),          // below start: outside every window
 	}
-	w := windowOver(recs, 10, 20)
-	if w.Queries != 2 {
-		t.Fatalf("[10,20) should hold exactly 2 records, got %d", w.Queries)
+	w := f.deriveWindows(recs, 10, 30, 2)
+	if w[0].Queries != 2 {
+		t.Fatalf("[10,20) should hold exactly 2 records, got %d", w[0].Queries)
 	}
-	if w.Start != 10 || w.End != 20 {
-		t.Fatalf("window bounds not preserved: %+v", w)
+	if w[1].Queries != 1 {
+		t.Fatalf("[20,31) should hold exactly 1 record, got %d", w[1].Queries)
+	}
+	if w[0].Start != 10 || w[0].End != 20 {
+		t.Fatalf("window bounds not preserved: %+v", w[0])
 	}
 	// Mean over the two included latencies (10ns and 21ns).
-	if w.MeanLat <= 0 || w.MeanLat > 21e-9 {
-		t.Fatalf("mean latency implausible: %v", w.MeanLat)
+	if w[0].MeanLat <= 0 || w[0].MeanLat > 21e-9 {
+		t.Fatalf("mean latency implausible: %v", w[0].MeanLat)
 	}
 
 	// An empty window keeps its zero stats (no NaNs from 0/0).
-	empty := windowOver(recs, 500, 600)
-	if empty.Queries != 0 || empty.MeanLat != 0 || empty.SMPerQuery != 0 {
-		t.Fatalf("empty window not zero-valued: %+v", empty)
+	empty := f.deriveWindows(recs, 500, 700, 2)
+	if empty[0].Queries != 0 || empty[0].MeanLat != 0 || empty[0].SMPerQuery != 0 {
+		t.Fatalf("empty window not zero-valued: %+v", empty[0])
 	}
 }
 

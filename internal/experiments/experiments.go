@@ -64,6 +64,7 @@ var registry = []struct {
 	{"tab10", "Table 10: M3 SDM sizing roofline", Tab10},
 	{"tab11", "Table 11: M3 multi-tenancy fleet power", Tab11},
 	{"cluster", "§4.2/Fig. 4c at serving time: fleet routing policies", Cluster},
+	{"fleetscale", "scale-up campaign: metered fleet wall-clock/allocation baseline (warn-only)", FleetScale},
 	{"drift", "adaptive tiering: hot-set rotation, re-placement, capped migration", Drift},
 	{"rowrange", "hot-row-range migration: move rows, not tables, under one bandwidth cap", RowRange},
 	{"coord", "fleet-coordinated, wear-aware migration windows: staggered vs lockstep under drift", Coord},

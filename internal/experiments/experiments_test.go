@@ -33,7 +33,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the evaluation must have a runner.
 	want := []string{
 		"fig1", "tab1", "fig3", "tab2", "fig4", "fig5", "fig6",
-		"tab3", "tab4", "tab8", "tab9", "tab10", "tab11", "cluster", "drift",
+		"tab3", "tab4", "tab8", "tab9", "tab10", "tab11", "cluster", "fleetscale", "drift",
 		"rowrange", "coord", "slo", "sgl", "mmap", "deprune", "dequant", "interop", "polling", "warmup", "update",
 	}
 	got := IDs()

@@ -1,0 +1,301 @@
+// Package metrics is the deterministic virtual-time metrics plane.
+//
+// Subsystems register typed instruments (Counter, Gauge, Histogram — the
+// latter reusing stats.Histogram) once, update them on their existing
+// deterministic paths, and the fleet samples every instrument into a
+// virtual-time series on window boundaries by calling MarkAll. The
+// rendered series (OpenMetrics text or JSONL) folds per-emitter samples
+// in (virtual time, host, labels) order — the same discipline as
+// obs.Merge — so it is byte-identical at any HostWorkers setting.
+//
+// A nil *Registry is valid everywhere: registration returns nil
+// instruments and every instrument method on a nil receiver is a no-op
+// that allocates nothing, so unmetered runs pay zero overhead.
+package metrics
+
+import (
+	"fmt"
+
+	"sdm/internal/simclock"
+	"sdm/internal/stats"
+)
+
+// Kind is the instrument type.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the OpenMetrics type name. Histograms render as
+// OpenMetrics summaries (count/sum/quantile rows).
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "summary"
+	}
+	return "unknown"
+}
+
+// Label is one fixed key=value pair attached to an instrument at
+// registration (e.g. table="3", class="gold"). The emitting host is not a
+// Label: it is the registry identity, rendered as host="N" for hosts and
+// omitted for the front-end.
+type Label struct {
+	Key, Value string
+}
+
+// Desc names an instrument. Name is the metric family (snake_case, no
+// _total/_count suffix — rendering adds those); instruments registered
+// under the same Name on different registries (or with different Labels)
+// are series of one family and must agree on Help and Unit.
+type Desc struct {
+	Name   string
+	Help   string
+	Unit   string
+	Labels []Label
+}
+
+// mark is one sampled point of an instrument's series.
+type mark struct {
+	t simclock.Time
+	// count carries counter values and histogram observation counts;
+	// value carries gauge values and histogram sums.
+	count uint64
+	value float64
+	// histogram quantile snapshot (KindHistogram only).
+	p50, p99 float64
+}
+
+// instrument is the shared state behind every typed handle.
+type instrument struct {
+	desc  Desc
+	kind  Kind
+	count uint64
+	value float64
+	hist  *stats.Histogram
+	// Func-backed instruments read their value at mark time, so existing
+	// deterministic counters are the update path — nothing to thread
+	// through hot loops.
+	countFn func() uint64
+	valueFn func(now simclock.Time) float64
+	marks   []mark
+}
+
+// sample captures the instrument's current value at virtual time t.
+// Marks must be issued in non-decreasing time order per registry;
+// re-marking at the last marked time overwrites that point (the final
+// end-of-run mark may coincide with a window boundary).
+func (in *instrument) sample(t simclock.Time) {
+	m := mark{t: t}
+	switch in.kind {
+	case KindCounter:
+		if in.countFn != nil {
+			m.count = in.countFn()
+		} else {
+			m.count = in.count
+		}
+	case KindGauge:
+		if in.valueFn != nil {
+			m.value = in.valueFn(t)
+		} else {
+			m.value = in.value
+		}
+	case KindHistogram:
+		m.count = in.hist.Count()
+		m.value = in.hist.Sum()
+		m.p50 = in.hist.P50()
+		m.p99 = in.hist.P99()
+	}
+	if n := len(in.marks); n > 0 {
+		last := in.marks[n-1].t
+		if t < last {
+			return // out of order: drop rather than corrupt the series
+		}
+		if t == last {
+			in.marks[n-1] = m
+			return
+		}
+	}
+	in.marks = append(in.marks, m)
+}
+
+// Registry holds the instruments of one emitter: a host (host >= 0) or
+// the fleet front-end (host < 0). Registries are not internally locked —
+// each emitter owns its registry and updates/marks it on its own
+// deterministic path (the host worker goroutine, or the sequential
+// front-end loop).
+type Registry struct {
+	host  int
+	insts []*instrument
+}
+
+// NewRegistry returns a registry for the given emitter. host < 0 means
+// the fleet front-end.
+func NewRegistry(host int) *Registry { return &Registry{host: host} }
+
+// Host returns the emitter id (-1 for the front-end).
+func (r *Registry) Host() int {
+	if r == nil {
+		return -1
+	}
+	return r.host
+}
+
+func (r *Registry) add(d Desc, k Kind) *instrument {
+	for _, in := range r.insts {
+		if in.desc.Name == d.Name && labelsEqual(in.desc.Labels, d.Labels) {
+			panic(fmt.Sprintf("metrics: duplicate instrument %s%s", d.Name, labelString(d.Labels)))
+		}
+	}
+	in := &instrument{desc: d, kind: k}
+	r.insts = append(r.insts, in)
+	return in
+}
+
+// NewCounter registers a monotone counter owned by the caller.
+func (r *Registry) NewCounter(d Desc) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &Counter{in: r.add(d, KindCounter)}
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at mark
+// time. fn must be monotone non-decreasing in virtual time.
+func (r *Registry) NewCounterFunc(d Desc, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.add(d, KindCounter).countFn = fn
+}
+
+// NewGauge registers a gauge owned by the caller.
+func (r *Registry) NewGauge(d Desc) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &Gauge{in: r.add(d, KindGauge)}
+}
+
+// NewGaugeFunc registers a gauge whose value is read from fn at mark
+// time; fn receives the mark's virtual time.
+func (r *Registry) NewGaugeFunc(d Desc, fn func(now simclock.Time) float64) {
+	if r == nil {
+		return
+	}
+	r.add(d, KindGauge).valueFn = fn
+}
+
+// NewHistogram registers a histogram, rendered as an OpenMetrics summary
+// (cumulative count, sum, p50 and p99 at each mark).
+func (r *Registry) NewHistogram(d Desc) *Histogram {
+	if r == nil {
+		return nil
+	}
+	in := r.add(d, KindHistogram)
+	in.hist = stats.NewHistogram()
+	return &Histogram{in: in}
+}
+
+// MarkAll samples every instrument at virtual time t, appending one point
+// to each series. Marks must be issued in non-decreasing time order.
+func (r *Registry) MarkAll(t simclock.Time) {
+	if r == nil {
+		return
+	}
+	for _, in := range r.insts {
+		in.sample(t)
+	}
+}
+
+// ResetMarks clears every instrument's sampled series while keeping
+// current values (cumulative counters keep counting). Called at Run
+// start so WriteMetrics renders the most recent run.
+func (r *Registry) ResetMarks() {
+	if r == nil {
+		return
+	}
+	for _, in := range r.insts {
+		in.marks = in.marks[:0]
+	}
+}
+
+// Reset clears marks and zeroes caller-owned values (func-backed
+// instruments are untouched — their owners define their lifetime).
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	for _, in := range r.insts {
+		in.marks = in.marks[:0]
+		in.count = 0
+		in.value = 0
+		if in.hist != nil {
+			in.hist.Reset()
+		}
+	}
+}
+
+// Counter is a monotone counter handle. All methods are nil-safe no-ops.
+type Counter struct{ in *instrument }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.in.count += n
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current counter value.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.in.count
+}
+
+// Gauge is a point-in-time value handle. All methods are nil-safe no-ops.
+type Gauge struct{ in *instrument }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.in.value = v
+}
+
+// Histogram is a distribution handle backed by stats.Histogram. All
+// methods are nil-safe no-ops.
+type Histogram struct{ in *instrument }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.in.hist.Observe(v)
+}
+
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -17,6 +17,7 @@ import (
 	"sdm/internal/blockdev"
 	"sdm/internal/core"
 	"sdm/internal/embedding"
+	"sdm/internal/metrics"
 	"sdm/internal/mlp"
 	"sdm/internal/model"
 	"sdm/internal/simclock"
@@ -118,6 +119,10 @@ type Host struct {
 	// inflight holds the completion times of admitted-but-unfinished
 	// queries as a min-heap; cluster routers read it through OutstandingAt.
 	inflight timeHeap
+
+	// admitted counts externally routed queries accepted through Admit
+	// since host creation (the metrics plane reads it at mark time).
+	admitted uint64
 
 	topMLP *mlp.Network
 
@@ -431,9 +436,33 @@ func (h *Host) Admit(t simclock.Time, q workload.Query) (simclock.Time, error) {
 	if done > h.horizon {
 		h.horizon = done
 	}
+	h.admitted++
 	h.retireInflight(t)
 	heap.Push(&h.inflight, done)
 	return done, nil
+}
+
+// RegisterMetrics registers the host's serving instruments on r — the
+// admitted-query counter, the virtual-time outstanding-ops gauge, the
+// FM-served share, and booked CPU seconds — then the store's catalog.
+// All are func-backed and read at mark time on the host's own execution
+// path, so they are deterministic at any worker count. A nil registry
+// registers nothing.
+func (h *Host) RegisterMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.NewCounterFunc(metrics.Desc{Name: "sdm_host_admitted_queries", Help: "Queries accepted through Admit since host creation."},
+		func() uint64 { return h.admitted })
+	r.NewGaugeFunc(metrics.Desc{Name: "sdm_host_outstanding_ops", Help: "Admitted queries still executing at the mark's virtual time."},
+		func(now simclock.Time) float64 { return float64(h.OutstandingAt(now)) })
+	r.NewGaugeFunc(metrics.Desc{Name: "sdm_host_fm_served_ratio", Help: "Share of lookups served without touching SM (1 - SMReads/Lookups)."},
+		func(simclock.Time) float64 { return h.Snapshot().FMServedRate() })
+	r.NewGaugeFunc(metrics.Desc{Name: "sdm_host_cpu_booked_seconds", Help: "Virtual CPU seconds booked on the host cores.", Unit: "seconds"},
+		func(simclock.Time) float64 { return h.cpuBooked.Seconds() })
+	if h.store != nil {
+		h.store.RegisterMetrics(r)
+	}
 }
 
 // OutstandingAt returns the number of admitted queries still executing at

@@ -74,6 +74,9 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.counts }
 
+// Sum returns the sum of all observations (0 if empty).
+func (h *Histogram) Sum() float64 { return h.sum }
+
 // Mean returns the mean of all observations (0 if empty).
 func (h *Histogram) Mean() float64 {
 	if h.counts == 0 {

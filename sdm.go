@@ -52,6 +52,7 @@ import (
 	"sdm/internal/cluster"
 	"sdm/internal/core"
 	"sdm/internal/embedding"
+	"sdm/internal/metrics"
 	"sdm/internal/model"
 	"sdm/internal/obs"
 	"sdm/internal/placement"
@@ -205,6 +206,43 @@ const (
 	TraceSummaryOnly    = obs.LevelSummary
 	TraceDecisions      = obs.LevelDecisions
 	TraceCounterfactual = obs.LevelCounterfactual
+)
+
+// Metrics-plane types (the observability layer's instrument registry):
+// typed instruments sampled into virtual-time series on deterministic
+// boundaries, so the rendered export — OpenMetrics text or JSONL — is
+// byte-identical at any FleetConfig.HostWorkers setting. Install with
+// Fleet.SetMetrics before Run; render the last Run's series with
+// Fleet.WriteMetrics / Fleet.WriteMetricsJSONL. Hosts, stores, and
+// adapters register their catalogs automatically; custom emitters use
+// NewMetricsRegistry and the instrument constructors.
+type (
+	// MetricsConfig tunes the fleet metrics plane (live sampling width).
+	MetricsConfig = cluster.MetricsConfig
+	// MetricsRegistry holds one emitter's instruments.
+	MetricsRegistry = metrics.Registry
+	// MetricsDesc names an instrument (family, help, unit, labels).
+	MetricsDesc = metrics.Desc
+	// MetricsLabel is one fixed key=value pair on an instrument.
+	MetricsLabel = metrics.Label
+	// MetricsCounter is a monotone counter handle (nil-safe).
+	MetricsCounter = metrics.Counter
+	// MetricsGauge is a point-in-time value handle (nil-safe).
+	MetricsGauge = metrics.Gauge
+	// MetricsHistogram is a distribution handle rendered as an
+	// OpenMetrics summary (nil-safe).
+	MetricsHistogram = metrics.Histogram
+)
+
+// Metrics-plane constructors and renderers.
+var (
+	// NewMetricsRegistry returns a registry for one emitter
+	// (host id >= 0, or < 0 for a front-end/global emitter).
+	NewMetricsRegistry = metrics.NewRegistry
+	// WriteOpenMetrics renders registries as OpenMetrics text.
+	WriteOpenMetrics = metrics.WriteOpenMetrics
+	// WriteMetricsJSONL renders the identical series as JSON lines.
+	WriteMetricsJSONL = metrics.WriteJSONL
 )
 
 // ParseTraceLevel parses a -trace-level flag value
