@@ -3,7 +3,7 @@
 GO ?= go
 REV ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet fmt-check test race bench bench-json bench-diff bench-gate print-bench-gated profile ci
+.PHONY: all build vet lint fmt-check test race bench bench-json bench-diff bench-gate print-bench-gated profile ci
 
 all: build test
 
@@ -13,6 +13,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Determinism lint: sdmvet (cmd/sdmvet, internal/lint) enforces the
+# bit-identical virtual-time invariant statically — no wall clock, no
+# unseeded randomness, no map-order-dependent emission, no
+# Duration/virtual-time unit mixing. Sanctioned sites carry
+# `//sdm:allow <analyzer> <reason>`. Also runs go vet with -unsafeptr.
+lint:
+	$(GO) run ./cmd/sdmvet ./...
+	$(GO) vet -unsafeptr ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -72,4 +81,4 @@ profile:
 		-metrics metrics.txt -cpuprofile cpu.pprof -memprofile mem.pprof
 	@echo "wrote cpu.pprof, mem.pprof, metrics.txt"
 
-ci: build vet fmt-check test race bench
+ci: build vet lint fmt-check test race bench

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -315,14 +316,7 @@ func labelKey(m map[string]string) string {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	// Tiny maps: insertion-order independence via selection sort.
-	for i := range keys {
-		for j := i + 1; j < len(keys); j++ {
-			if keys[j] < keys[i] {
-				keys[i], keys[j] = keys[j], keys[i]
-			}
-		}
-	}
+	sort.Strings(keys)
 	var b strings.Builder
 	for _, k := range keys {
 		b.WriteString(k)

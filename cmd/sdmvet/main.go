@@ -1,0 +1,118 @@
+// Command sdmvet runs the repo's determinism-lint suite (internal/lint):
+// custom analyzers that enforce the bit-identical virtual-time invariant
+// statically — no wall-clock reads, no unseeded randomness, no map-order
+// emission, no completion-order float folds — over the packages named on
+// the command line.
+//
+// Usage:
+//
+//	sdmvet [-only analyzer,...] [-list] [-v] [packages]
+//
+// Packages are directories or dir/... patterns (default ./...), resolved
+// within the enclosing module. Findings print as
+//
+//	file:line: [analyzer] message
+//
+// and any finding exits 1; load failures exit 2. Sanctioned violations
+// are annotated in source with `//sdm:allow <analyzer> <reason>` on the
+// offending line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sdm/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sdmvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated subset of analyzers to run (default all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	verbose := fs.Bool("v", false, "report packages checked and type-check warnings")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: sdmvet [-only analyzer,...] [-list] [-v] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers := lint.All
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.Lookup(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "sdmvet: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "sdmvet: %v\n", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "sdmvet: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "sdmvet: %v\n", err)
+		return 2
+	}
+	loader.IncludeTests = true
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "sdmvet: %v\n", err)
+		return 2
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			fmt.Fprintf(stderr, "sdmvet: checked %s (%d files)\n", p.Path, len(p.Files))
+			for _, terr := range p.TypeErrors {
+				fmt.Fprintf(stderr, "sdmvet: warning: %s: %v\n", p.Path, terr)
+			}
+		}
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", relPath(cwd, f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "sdmvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+func relPath(base, path string) string {
+	if rel, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -211,7 +211,7 @@ func TestAdvanceGuardsZeroByteStall(t *testing.T) {
 	go func() { x.Advance(100); close(done) }()
 	select {
 	case <-done:
-	case <-time.After(10 * time.Second):
+	case <-time.After(10 * time.Second): //sdm:allow wallclock test watchdog against a regressed spin, not simulated time
 		t.Fatal("advance spun on a zero-byte stall")
 	}
 	if !f.aborted || f.committed {

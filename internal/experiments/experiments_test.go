@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"strings"
 	"testing"
-	"time"
 )
 
 // quick returns a very small scale for fast tests.
@@ -501,5 +500,4 @@ func TestScalePresets(t *testing.T) {
 	if d.ModelScale <= 0 {
 		t.Fatal("bad default scale")
 	}
-	_ = time.Now // keep time import meaningful if unused elsewhere
 }

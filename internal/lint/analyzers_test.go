@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWallclockFixture(t *testing.T) {
+	runFixture(t, "wallclock", Wallclock)
+}
+
+func TestRandsourceFixture(t *testing.T) {
+	runFixture(t, "randsource", Randsource)
+}
+
+func TestRandsourceBlankImportFixture(t *testing.T) {
+	runFixture(t, "randblank", Randsource)
+}
+
+func TestMaporderFixture(t *testing.T) {
+	runFixture(t, "maporder", Maporder)
+}
+
+func TestVtimecompareFixture(t *testing.T) {
+	runFixture(t, "vtimecompare", Vtimecompare)
+}
+
+// TestAllowDirective proves the suppression path: annotated wall-clock
+// sites disappear, unannotated ones on the same lines' neighbours stay.
+func TestAllowDirective(t *testing.T) {
+	runFixture(t, "allowdir", Wallclock)
+}
+
+// TestWholeSuiteOnFixtures runs every analyzer together over the fixture
+// whose wants were written for a single analyzer — the other analyzers
+// must not add stray findings to it (cross-analyzer false-positive
+// guard). maporder's fixture is the one with the richest mixed content.
+func TestWholeSuiteOnFixtures(t *testing.T) {
+	runFixture(t, "maporder", All...)
+	runFixture(t, "wallclock", Wallclock, Randsource, Maporder)
+}
+
+// TestDirectiveValidation: malformed directives are findings under the
+// "directive" pseudo-analyzer, and a reason-less directive suppresses
+// nothing (the time.Now below it must still be reported).
+func TestDirectiveValidation(t *testing.T) {
+	pkgs := loadFixture(t, "directive")
+	findings := Run(pkgs, []*Analyzer{Wallclock})
+	wantSubstrings := []string{
+		`unknown analyzer "wallhack"`,
+		"names no analyzer",
+		"missing its reason",
+		"time.Now reads the wall clock",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("expected a finding containing %q, findings: %v", want, findings)
+		}
+	}
+	if len(findings) != len(wantSubstrings) {
+		t.Errorf("want %d findings, got %d: %v", len(wantSubstrings), len(findings), findings)
+	}
+	for _, f := range findings {
+		malformed := strings.Contains(f.Message, "unknown analyzer") ||
+			strings.Contains(f.Message, "names no analyzer") ||
+			strings.Contains(f.Message, "missing its reason")
+		if malformed && f.Analyzer != "directive" {
+			t.Errorf("directive diagnostics must use the directive pseudo-analyzer, got %q", f.Analyzer)
+		}
+	}
+}
+
+// TestLookup pins the analyzer registry the directive grammar accepts.
+func TestLookup(t *testing.T) {
+	for _, name := range []string{"wallclock", "randsource", "maporder", "vtimecompare"} {
+		if Lookup(name) == nil {
+			t.Errorf("Lookup(%q) = nil, want analyzer", name)
+		}
+	}
+	if Lookup("wallhack") != nil {
+		t.Error("Lookup must reject unknown names")
+	}
+	if len(All) < 4 {
+		t.Errorf("suite must ship at least four analyzers, got %d", len(All))
+	}
+}

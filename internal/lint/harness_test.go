@@ -1,0 +1,134 @@
+package lint
+
+// A tiny fixture harness mirroring golang.org/x/tools' analysistest
+// without the dependency: fixture packages live under testdata/src, and
+// `// want "substring-or-regexp"` comments on an offending line declare
+// the expected finding. Every finding must be wanted and every want must
+// be found.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"([^"]+)"`)
+
+func fixtureRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.FixtureRoot = fixtureRoot(t)
+	l.IncludeTests = true
+	return l
+}
+
+func loadFixture(t *testing.T, name string) []*Package {
+	t.Helper()
+	l := newTestLoader(t)
+	pkgs, err := l.Load(filepath.Join(fixtureRoot(t), name))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s loaded no packages", name)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("fixture %s does not type-check: %v", name, e)
+		}
+	}
+	return pkgs
+}
+
+type wantMark struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func parseWants(t *testing.T, dir string) []*wantMark {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*wantMark
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			rx, err := regexp.Compile(regexp.QuoteMeta(m[1]))
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+			}
+			wants = append(wants, &wantMark{file: path, line: i + 1, rx: rx})
+		}
+	}
+	return wants
+}
+
+// runFixture loads testdata/src/<name>, runs the analyzers, and checks
+// the findings against the fixture's want comments exactly.
+func runFixture(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkgs := loadFixture(t, name)
+	dir := pkgs[0].Dir
+	wants := parseWants(t, dir)
+	findings := Run(pkgs, analyzers)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && sameFile(w.file, f.Pos.Filename) && w.line == f.Pos.Line && w.rx.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding %s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %v, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	if err1 != nil || err2 != nil {
+		return a == b
+	}
+	return aa == bb
+}

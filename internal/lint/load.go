@@ -1,0 +1,350 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one type-checked lint unit: a directory's package together
+// with its in-package test files, or (separately) its external _test
+// package.
+type Package struct {
+	Path  string // import path ("sdm/internal/cluster"; xtest units get ".test" appended)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-check diagnostics. The repo must already
+	// compile (the build gate runs first), so these indicate loader gaps;
+	// the driver surfaces them as warnings rather than findings.
+	TypeErrors []error
+}
+
+// Loader loads and type-checks packages using only the standard library:
+// module-local import paths resolve against the module root, everything
+// else against GOROOT/src (with the GOROOT vendor fallback), and — for
+// the analyzer fixtures — against an optional extra root, mirroring the
+// classic analysistest GOPATH convention.
+type Loader struct {
+	Root       string // module root (directory containing go.mod)
+	ModulePath string
+	// FixtureRoot, when set, resolves otherwise-unknown import paths and
+	// target directories relative to this extra root (tests only).
+	FixtureRoot string
+	// IncludeTests adds _test.go files of target packages (dependencies
+	// are always loaded without tests).
+	IncludeTests bool
+
+	ctx      build.Context
+	fset     *token.FileSet
+	imported map[string]*types.Package
+	sizes    types.Sizes
+}
+
+// NewLoader returns a loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	// The simulator is pure Go; disabling cgo selects the pure-Go stdlib
+	// fallbacks so type-checking never needs a C toolchain.
+	ctx.CgoEnabled = false
+	return &Loader{
+		Root:       root,
+		ModulePath: modPath,
+		ctx:        ctx,
+		fset:       token.NewFileSet(),
+		imported:   make(map[string]*types.Package),
+		sizes:      types.SizesFor("gc", runtime.GOARCH),
+	}, nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if fi, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil && !fi.IsDir() {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("%s: no module path", gomod)
+}
+
+// Load resolves the patterns (a directory, or dir/... for a recursive
+// walk; testdata, vendor, and dot/underscore directories are skipped) and
+// returns the type-checked lint units in deterministic order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		}
+		if pat == "" || pat == "." {
+			pat = l.Root
+		}
+		dir, err := l.resolvePatternDir(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !recursive {
+			add(dir)
+			continue
+		}
+		err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		units, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, units...)
+	}
+	return pkgs, nil
+}
+
+func (l *Loader) resolvePatternDir(pat string) (string, error) {
+	candidates := []string{pat}
+	if !filepath.IsAbs(pat) {
+		if cwd, err := os.Getwd(); err == nil {
+			candidates = append(candidates, filepath.Join(cwd, pat))
+		}
+		candidates = append(candidates, filepath.Join(l.Root, pat))
+	}
+	for _, c := range candidates {
+		if fi, err := os.Stat(c); err == nil && fi.IsDir() {
+			return filepath.Abs(c)
+		}
+	}
+	return "", fmt.Errorf("pattern %q matches no directory", pat)
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir type-checks the directory's package (plus in-package tests when
+// IncludeTests) and, when present, its external _test package as a second
+// unit.
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	path := l.importPathFor(dir)
+	names := append([]string(nil), bp.GoFiles...)
+	if l.IncludeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	var pkgs []*Package
+	if len(names) > 0 {
+		pkg, err := l.check(path, dir, names)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if l.IncludeTests && len(bp.XTestGoFiles) > 0 {
+		pkg, err := l.check(path+".test", dir, bp.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func (l *Loader) importPathFor(dir string) string {
+	if rel, err := filepath.Rel(l.Root, dir); err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		if rel == "." {
+			return l.ModulePath
+		}
+		return l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	if l.FixtureRoot != "" {
+		if rel, err := filepath.Rel(l.FixtureRoot, dir); err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(dir)
+}
+
+// check parses and fully type-checks one unit with comments and full type
+// information (the analyzers need both).
+func (l *Loader) check(path, dir string, names []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: importerFunc(l.importPkg),
+		Sizes:    l.sizes,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(path, l.fset, files, info) // errors collected on pkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// importPkg resolves and type-checks a dependency from source. Bodies are
+// skipped (exported API is all importers need), results are memoized, and
+// cycles error out instead of recursing forever.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.imported[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	l.imported[path] = nil // in progress
+	dir, err := l.dirFor(path)
+	if err != nil {
+		delete(l.imported, path)
+		return nil, err
+	}
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		delete(l.imported, path)
+		return nil, fmt.Errorf("import %q: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			delete(l.imported, path)
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer:         importerFunc(l.importPkg),
+		Sizes:            l.sizes,
+		IgnoreFuncBodies: true,
+		Error:            func(error) {}, // partial packages still import usefully
+	}
+	pkg, _ := conf.Check(path, l.fset, files, nil)
+	if pkg == nil {
+		delete(l.imported, path)
+		return nil, fmt.Errorf("import %q: type-check produced no package", path)
+	}
+	l.imported[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) dirFor(path string) (string, error) {
+	if path == l.ModulePath {
+		return l.Root, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.Root, filepath.FromSlash(rest)), nil
+	}
+	for _, dir := range []string{
+		filepath.Join(l.ctx.GOROOT, "src", filepath.FromSlash(path)),
+		filepath.Join(l.ctx.GOROOT, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, nil
+		}
+	}
+	if l.FixtureRoot != "" {
+		dir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, nil
+		}
+	}
+	return "", fmt.Errorf("cannot resolve import %q", path)
+}

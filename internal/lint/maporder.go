@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags `range` over a map whose body emits in iteration order:
+// appending to an outer slice, writing to an io.Writer (or fmt.Fprint*/
+// Print*), marking metrics/trace/registry instruments, sending on a
+// channel, or folding floats into an outer accumulator. Go randomizes map
+// iteration order per run, so any of these leaks nondeterminism straight
+// into rendered output — the bug class a perf campaign most easily
+// reintroduces. The sorted-keys idiom is recognized and exempt: a loop
+// that only collects keys/values into a slice which the enclosing
+// function then passes to sort.* or slices.Sort* is the sanctioned fix,
+// not a finding. Order-independent bodies (writing other maps, per-key
+// updates, integer counts) are never flagged.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map ranges whose body emits (append/write/metric/channel/float-fold) without sorting keys first",
+	Run:  runMaporder,
+}
+
+// fmtEmitters are the fmt functions that write to a stream (Sprint* is
+// pure and stays legal).
+var fmtEmitters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// writerMethods look like io.Writer-family emission on any receiver.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "WriteTo": true,
+}
+
+// emitMethods are always treated as ordered emission (trace/registry/
+// sample verbs), on any receiver.
+var emitMethods = map[string]bool{
+	"Observe": true, "Record": true, "Emit": true, "Mark": true,
+}
+
+// instrumentMethods are emission only when the receiver type lives in a
+// metrics/observability/stats package — Add/Inc/Set are too generic to
+// ban everywhere, but on an instrument they publish in iteration order.
+var instrumentMethods = map[string]bool{
+	"Add": true, "Inc": true, "Set": true,
+}
+
+func runMaporder(pass *Pass) {
+	for _, file := range pass.Files() {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass, rs) {
+				return true
+			}
+			checkMapRangeBody(pass, rs, enclosingFunc(stack))
+			return true
+		})
+	}
+}
+
+func isMapRange(pass *Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, fn ast.Node) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, fn, st)
+		case *ast.SendStmt:
+			pass.Reportf(st.Pos(), "send on a channel inside a map range publishes values in map iteration order; sort the keys first")
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, st)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, fn ast.Node, st *ast.AssignStmt) {
+	// append into an outer slice: the classic unsorted-emission shape —
+	// unless the slice is subsequently sorted in this function (the
+	// collect-then-sort idiom).
+	if call, ok := appendCall(st); ok {
+		base := baseIdent(st.Lhs[0])
+		if base == nil {
+			return
+		}
+		obj := pass.ObjectOf(base)
+		if obj == nil || declaredWithin(obj, rs) {
+			return
+		}
+		if fn != nil && sortedLater(pass, fn, obj) {
+			return
+		}
+		pass.Reportf(call.Pos(), "append to %s inside a map range records map iteration order; sort the keys first (sort.*/slices.Sort*) or sort %s before emitting", base.Name, base.Name)
+		return
+	}
+	// Float accumulation into a single outer accumulator folds rounding
+	// in iteration order. Per-key index writes and integer counters are
+	// order-independent and stay legal.
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	lhs := st.Lhs[0]
+	if _, isIndex := lhs.(*ast.IndexExpr); isIndex {
+		return
+	}
+	if !isFloat(pass.TypeOf(lhs)) {
+		return
+	}
+	base := baseIdent(lhs)
+	if base == nil {
+		return
+	}
+	if obj := pass.ObjectOf(base); obj != nil && !declaredWithin(obj, rs) {
+		pass.Reportf(st.Pos(), "float accumulation into %s inside a map range folds rounding in map iteration order; sort the keys first", base.Name)
+	}
+}
+
+func checkMapRangeCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if pkg := pass.pkgNameOf(sel.X); pkg != "" {
+		if pkg == "fmt" && fmtEmitters[name] {
+			pass.Reportf(call.Pos(), "fmt.%s inside a map range writes in map iteration order; sort the keys first", name)
+		}
+		return
+	}
+	switch {
+	case writerMethods[name]:
+		pass.Reportf(call.Pos(), "%s inside a map range writes in map iteration order; sort the keys first", name)
+	case emitMethods[name]:
+		pass.Reportf(call.Pos(), "%s inside a map range emits samples in map iteration order; sort the keys first", name)
+	case instrumentMethods[name] && isInstrumentRecv(pass, sel.X):
+		pass.Reportf(call.Pos(), "instrument %s inside a map range marks series in map iteration order; sort the keys first", name)
+	}
+}
+
+// appendCall matches `x = append(x, ...)` / `x := append(x, ...)`.
+func appendCall(st *ast.AssignStmt) (*ast.CallExpr, bool) {
+	if len(st.Rhs) != 1 || len(st.Lhs) == 0 {
+		return nil, false
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil, false
+	}
+	return call, true
+}
+
+// sortedLater reports whether fn contains a sort.* or slices.Sort* call
+// whose arguments reference obj — the collect-then-sort idiom that makes
+// the collected order deterministic before anything emits it.
+func sortedLater(pass *Pass, fn ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch pass.pkgNameOf(sel.X) {
+		case "sort":
+		case "slices":
+			if !strings.HasPrefix(sel.Sel.Name, "Sort") {
+				return true
+			}
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass, arg, obj) {
+				found = true
+				break
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func mentionsObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	hit := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			hit = true
+		}
+		return !hit
+	})
+	return hit
+}
+
+// isInstrumentRecv reports whether the receiver's named type is declared
+// in a metrics/observability/stats package.
+func isInstrumentRecv(pass *Pass, recv ast.Expr) bool {
+	t := pass.TypeOf(recv)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return strings.Contains(path, "metrics") || strings.Contains(path, "obs") || strings.Contains(path, "stats")
+}

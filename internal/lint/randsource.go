@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// randSeededNames are the math/rand{,/v2} identifiers that construct or
+// name explicitly seeded sources. They are tolerated (a seeded source is
+// deterministic by construction); everything else in those packages draws
+// from the shared, implicitly seeded globals and is banned in favour of
+// internal/xrand.
+var randSeededNames = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"Source":     true,
+	"Rand":       true,
+	"Zipf":       true,
+	"PCG":        true,
+	"ChaCha8":    true,
+}
+
+// Randsource forbids the math/rand global functions (unseeded shared
+// state: two runs — or two goroutine interleavings — draw different
+// streams) and all of crypto/rand (nondeterministic by design) in
+// simulation code. Randomness must flow through seeded internal/xrand
+// sources so every trajectory replays bit-identically.
+var Randsource = &Analyzer{
+	Name: "randsource",
+	Doc:  "forbid math/rand global functions and crypto/rand; require seeded internal/xrand sources",
+	Run:  runRandsource,
+}
+
+func runRandsource(pass *Pass) {
+	for _, file := range pass.Files() {
+		// Blank imports keep the package linked (init side effects)
+		// without any identifier use to flag; report the import itself.
+		// Dot imports are resolved per identifier below.
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !isRandPkg(path) {
+				continue
+			}
+			if imp.Name != nil && imp.Name.Name == "_" {
+				pass.Reportf(imp.Pos(), "blank import of %s; simulation randomness must come from seeded internal/xrand sources", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || pass.Pkg.Info == nil {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil || !isRandPkg(obj.Pkg().Path()) {
+				return true
+			}
+			if _, isPkgName := obj.(*types.PkgName); isPkgName {
+				return true // the qualifier itself; the selected name is judged separately
+			}
+			if fn, ok := obj.(*types.Func); ok {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true // methods on Rand/Source values are seeded-source usage
+				}
+			}
+			path := obj.Pkg().Path()
+			if strings.HasPrefix(path, "crypto/") {
+				pass.Reportf(id.Pos(), "crypto/rand.%s is nondeterministic; simulation randomness must come from seeded internal/xrand sources", obj.Name())
+				return true
+			}
+			if randSeededNames[obj.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s.%s draws from the shared unseeded source; use a seeded internal/xrand generator", path, obj.Name())
+			return true
+		})
+	}
+}
+
+func isRandPkg(path string) bool {
+	switch path {
+	case "math/rand", "math/rand/v2", "crypto/rand":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestSuiteSelfCheck lints the linter: the full suite must run clean over
+// internal/lint itself and over every command (including cmd/sdmvet), so
+// the tool enforcing the determinism rules also obeys them. The
+// repo-wide ./... run is the CI lint job; this keeps the self-referential
+// core under `go test`.
+func TestSuiteSelfCheck(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.IncludeTests = true
+	pkgs, err := l.Load(
+		filepath.Join(root, "internal", "lint"),
+		filepath.Join(root, "cmd")+"/...",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 2 {
+		t.Fatalf("self-check loaded only %d packages", len(pkgs))
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("%s: type-check: %v", p.Path, e)
+		}
+	}
+	for _, f := range Run(pkgs, All) {
+		t.Errorf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+	}
+}
+
+// TestLoaderSkipsTestdata: the walker must not descend into fixture
+// directories — their deliberate violations would otherwise fail the
+// repo-wide run.
+func TestLoaderSkipsTestdata(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(filepath.Join(root, "internal", "lint") + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if filepath.Base(filepath.Dir(p.Dir)) == "testdata" || filepath.Base(p.Dir) == "testdata" {
+			t.Errorf("loader descended into testdata: %s", p.Dir)
+		}
+		for _, f := range p.Files {
+			name := l.fset.Position(f.Pos()).Filename
+			if filepath.Base(filepath.Dir(filepath.Dir(name))) == "testdata" {
+				t.Errorf("loaded fixture file %s", name)
+			}
+		}
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+}
+
+// TestLoadIncludesTestFiles: the suite lints _test.go files too (the
+// adapt watchdog annotation exists because of it), both in-package and
+// external test packages.
+func TestLoadIncludesTestFiles(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.IncludeTests = true
+	pkgs, err := l.Load(filepath.Join(root, "internal", "lint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundTest := false
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			name := l.fset.Position(f.Pos()).Filename
+			if filepath.Base(name) == "selfcheck_test.go" {
+				foundTest = true
+			}
+		}
+	}
+	if !foundTest {
+		t.Error("IncludeTests did not load the package's _test.go files")
+	}
+}

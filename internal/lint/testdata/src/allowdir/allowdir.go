@@ -1,0 +1,18 @@
+// Fixture for the //sdm:allow directive: a well-formed directive on the
+// offending line or the line above suppresses exactly its named analyzer
+// on exactly those lines.
+package allowdir
+
+import "time"
+
+func profile() time.Duration {
+	start := time.Now() //sdm:allow wallclock measuring harness wall cost, not simulated time
+	//sdm:allow wallclock the site below is sanctioned wall-clock profiling
+	d := time.Since(start)
+	time.Sleep(d) // want "time.Sleep reads the wall clock"
+	//sdm:allow randsource a directive for another analyzer does not cover this one
+	x := time.Now()    // want "time.Now reads the wall clock"
+	y := time.Since(x) // want "time.Since reads the wall clock"
+	//sdm:allow wallclock a directive covers the line above it, not the one below
+	return d + y
+}

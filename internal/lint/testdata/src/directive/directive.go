@@ -1,0 +1,16 @@
+// Fixture for directive validation: malformed //sdm:allow comments are
+// findings themselves, and a directive without a reason suppresses
+// nothing. Expectations are asserted directly in TestDirectiveValidation
+// (want comments trailing a directive would become part of its reason).
+package directive
+
+import "time"
+
+//sdm:allow wallhack this analyzer does not exist
+
+//sdm:allow
+
+func malformedNoReason() time.Time {
+	//sdm:allow wallclock
+	return time.Now()
+}

@@ -1,0 +1,121 @@
+// Fixture for the maporder analyzer: map ranges that emit in iteration
+// order are findings; the collect-then-sort idiom, order-independent
+// bodies, and slice ranges are the false-positive guards.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"strings"
+
+	"simmetrics"
+)
+
+func emit(w io.Writer, m map[string]int) []string {
+	var lines []string
+	for k, v := range m {
+		lines = append(lines, fmt.Sprintf("%s=%d", k, v)) // want "append to lines inside a map range"
+	}
+	for k := range m {
+		fmt.Fprintf(w, "%s\n", k) // want "fmt.Fprintf inside a map range"
+	}
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "WriteString inside a map range"
+	}
+	fmt.Fprint(w, b.String())
+	return lines
+}
+
+// sortedKeys is the sanctioned collect-then-sort idiom: the append feeds
+// sort.Strings in the same function, so nothing is flagged.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedValues covers the slices.Sort spelling of the same idiom.
+func sortedValues(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	slices.Sort(vals)
+	return vals
+}
+
+// sortSliceStable covers sorting collected structs with sort.SliceStable.
+func sortSliceStable(m map[string]int) []string {
+	rows := make([]string, 0, len(m))
+	for k := range m {
+		rows = append(rows, k)
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}
+
+// orderIndependent bodies are never flagged: integer accumulation is
+// exact, and per-key writes to other maps commute.
+func orderIndependent(m map[string]int) (int, map[string]int) {
+	n := 0
+	double := make(map[string]int, len(m))
+	for k, v := range m {
+		n += v
+		double[k] = 2 * v
+	}
+	return n, double
+}
+
+func floatFold(m map[string]float64) float64 {
+	var sum float64
+	perBucket := make([]float64, 8)
+	for k, v := range m {
+		sum += v                 // want "float accumulation into sum inside a map range"
+		perBucket[len(k)%8] += v // indexed slot, resolved per key: no finding
+	}
+	return sum + perBucket[0]
+}
+
+func instruments(c *simmetrics.Counter, g *simmetrics.Gauge, m map[string]uint64) {
+	for _, v := range m {
+		c.Add(v) // want "instrument Add inside a map range"
+	}
+	for _, v := range m {
+		g.Set(float64(v)) // want "instrument Set inside a map range"
+	}
+	total := uint64(0)
+	for _, v := range m {
+		total += v // integer fold: no finding
+	}
+	c.Add(total) // emission after the loop, order already folded: no finding
+}
+
+func channelSend(ch chan string, m map[string]int) {
+	for k := range m {
+		ch <- k // want "send on a channel inside a map range"
+	}
+}
+
+// localAppend collects into a slice scoped to one iteration: no finding.
+func localAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		out := make([]int, 0, len(vs))
+		out = append(out, vs...)
+		n += len(out)
+	}
+	return n
+}
+
+// sliceRange: iteration over a slice is ordered; never flagged.
+func sliceRange(w io.Writer, xs []string) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}

@@ -1,0 +1,8 @@
+// Fixture for the randsource analyzer's blank-import case.
+package randblank
+
+import (
+	_ "math/rand" // want "blank import of math/rand"
+)
+
+func nothing() {}

@@ -1,0 +1,25 @@
+// Fixture for the randsource analyzer: shared-global math/rand draws and
+// all of crypto/rand are findings; seeded source construction and the
+// repo's own xrand generators are not.
+package randsource
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	v2 "math/rand/v2"
+
+	"sdm/internal/xrand"
+)
+
+func draw() float64 {
+	x := rand.Float64()                // want "math/rand.Float64 draws from the shared unseeded source"
+	rand.Shuffle(3, func(i, j int) {}) // want "math/rand.Shuffle draws from the shared unseeded source"
+	y := v2.IntN(10)                   // want "math/rand/v2.IntN draws from the shared unseeded source"
+	var buf [8]byte
+	_, _ = crand.Read(buf[:]) // want "crypto/rand.Read is nondeterministic"
+	_ = crand.Reader          // want "crypto/rand.Reader is nondeterministic"
+
+	r := rand.New(rand.NewSource(42)) // seeded source construction: no finding
+	g := xrand.New(42)                // the sanctioned path: no finding
+	return x + float64(y) + r.Float64() + g.Float64()
+}

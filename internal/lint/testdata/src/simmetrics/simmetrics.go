@@ -1,0 +1,15 @@
+// Package simmetrics is a stand-in instrument package for the maporder
+// fixtures: its import path contains "metrics", which is what the
+// analyzer's instrument-receiver heuristic keys on for the generic
+// Add/Inc/Set method names.
+package simmetrics
+
+type Counter struct{ n uint64 }
+
+func (c *Counter) Add(d uint64) { c.n += d }
+
+func (c *Counter) Inc() { c.n++ }
+
+type Gauge struct{ v float64 }
+
+func (g *Gauge) Set(v float64) { g.v = v }

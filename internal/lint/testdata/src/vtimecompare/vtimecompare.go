@@ -1,0 +1,64 @@
+// Fixture for the vtimecompare analyzer: Duration-to-bare-integer mixing
+// inside arithmetic and shared float folds in go-spawned closures are
+// findings; named-type conversions, Duration-space math, float seconds,
+// and per-worker slots are the false-positive guards.
+package vtimecompare
+
+import (
+	"sync"
+	"time"
+)
+
+// vTime stands in for simclock.Time: a named virtual-time type.
+type vTime int64
+
+func mix(d time.Duration, vtNanos int64) int64 {
+	x := vtNanos + int64(d) // want "time.Duration converted to a bare integer inside arithmetic"
+	vtNanos += int64(d)     // want "time.Duration converted to a bare integer inside arithmetic"
+	if vtNanos > int64(d) { // want "time.Duration converted to a bare integer inside arithmetic"
+		x++
+	}
+
+	y := int64(d)             // plain unit conversion, no arithmetic: no finding
+	z := vTime(d)             // conversion to a named type keeps the unit: no finding
+	w := d / time.Duration(3) // arithmetic stays in Duration space: no finding
+	s := float64(d) / 1e9     // float seconds math: no finding
+	_, _, _ = y, w, s
+	total := vTime(0)
+	total += z // named virtual-time arithmetic: no finding
+	return x + int64(total)
+}
+
+func folds(vals []float64) float64 {
+	var wg sync.WaitGroup
+	var total float64
+	var count int
+	slots := make([]float64, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, v := range vals {
+				total += v    // want "float accumulated into shared total inside a go-spawned closure"
+				slots[w] += v // per-worker slot reduced later in op order: no finding
+				count++
+			}
+			local := 0.0
+			local += vals[0] // accumulator scoped to the closure: no finding
+			slots[w] += local
+		}(i)
+	}
+	wg.Wait()
+	//sdm:allow vtimecompare approved fold point for the fixture
+	go func() { total += slots[0] }()
+	return total + slots[1] + float64(count)
+}
+
+// serialFold is the same shape outside a go statement: no finding.
+func serialFold(vals []float64) float64 {
+	var total float64
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,29 @@
+// Fixture for the wallclock analyzer: wall-clock reads are findings;
+// durations, component constructors, and methods that merely share a
+// forbidden name are not.
+package wallclock
+
+import (
+	"time"
+	tt "time"
+)
+
+type clock struct{}
+
+// After shares its name with time.After but is a method: never flagged.
+func (clock) After(d time.Duration) time.Duration { return d }
+
+func sim() time.Duration {
+	now := time.Now()              // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)   // want "time.Sleep reads the wall clock"
+	<-time.After(time.Millisecond) // want "time.After reads the wall clock"
+	f := tt.Since                  // want "time.Since reads the wall clock"
+	_ = f
+	t := time.NewTicker(time.Second) // want "time.NewTicker reads the wall clock"
+	t.Stop()
+
+	var c clock
+	d := c.After(3 * time.Second) // method, not the package function: no finding
+	deadline := time.Unix(0, 0)   // constructed from components: no finding
+	return d + now.Sub(deadline.Add(time.Minute))
+}

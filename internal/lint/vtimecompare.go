@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Vtimecompare guards the virtual-time arithmetic discipline:
+//
+//  1. A time.Duration converted to a bare integer inside arithmetic
+//     (`vt + int64(d)`, `vt += int64(d)`) strips the unit system that
+//     keeps wall-clock lengths and virtual timestamps apart. Virtual-time
+//     math must stay in simclock.Time / time.Duration end to end;
+//     conversions through the named simclock.Time type are exactly the
+//     sanctioned path and are not flagged.
+//
+//  2. A float accumulator shared across a `go`-spawned closure
+//     (`sum += x` where sum lives outside the closure) folds rounding in
+//     goroutine-completion order, which varies with worker count. The
+//     sanctioned parallel shape — per-worker slots (`res[i] = ...`,
+//     `res[i] += ...`) reduced later in op/arrival order — is not
+//     flagged; approved shared fold points carry
+//     //sdm:allow vtimecompare <reason>.
+var Vtimecompare = &Analyzer{
+	Name: "vtimecompare",
+	Doc:  "forbid time.Duration→int64 mixing in virtual-time arithmetic and completion-order float folds in goroutines",
+	Run:  runVtimecompare,
+}
+
+func runVtimecompare(pass *Pass) {
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.BinaryExpr:
+				if isVtimeOp(st.Op) {
+					for _, side := range []ast.Expr{st.X, st.Y} {
+						if conv, ok := durationToIntConv(pass, side); ok {
+							pass.Reportf(conv.Pos(), "time.Duration converted to a bare integer inside arithmetic mixes wall-clock units into virtual-time math; keep the computation in simclock.Time/time.Duration")
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				switch st.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN:
+					if conv, ok := durationToIntConv(pass, st.Rhs[0]); ok {
+						pass.Reportf(conv.Pos(), "time.Duration converted to a bare integer inside arithmetic mixes wall-clock units into virtual-time math; keep the computation in simclock.Time/time.Duration")
+					}
+				}
+			case *ast.GoStmt:
+				if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineFolds(pass, fl)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isVtimeOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// durationToIntConv matches a conversion of a std time.Duration value to
+// an unnamed integer type (int64(d), uint64(d), int(d)). Conversions to
+// named types (simclock.Time(d)) keep their unit and are legal, as are
+// float conversions (seconds math).
+func durationToIntConv(pass *Pass, e ast.Expr) (*ast.CallExpr, bool) {
+	e = ast.Unparen(e)
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 || pass.Pkg.Info == nil {
+		return nil, false
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	basic, ok := tv.Type.(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil, false
+	}
+	return call, isStdDuration(pass.TypeOf(call.Args[0]))
+}
+
+func isStdDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}
+
+// checkGoroutineFolds flags compound float assignments to variables that
+// outlive the go-spawned closure. Indexed writes (per-worker slots) are
+// the sanctioned fold shape and stay legal.
+func checkGoroutineFolds(pass *Pass, fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		lhs := st.Lhs[0]
+		if _, isIndex := lhs.(*ast.IndexExpr); isIndex {
+			return true
+		}
+		if !isFloat(pass.TypeOf(lhs)) {
+			return true
+		}
+		base := baseIdent(lhs)
+		if base == nil {
+			return true
+		}
+		if obj := pass.ObjectOf(base); obj != nil && !declaredWithin(obj, fl) {
+			pass.Reportf(st.Pos(), "float accumulated into shared %s inside a go-spawned closure folds in completion order; use per-worker slots reduced in op order (//sdm:allow vtimecompare <reason> at approved fold points)", base.Name)
+		}
+		return true
+	})
+}

@@ -50,7 +50,7 @@ func (r *SyncRing) cpuPerIO() time.Duration {
 	if r.cfg.Mode == Polling {
 		per = cpuPerIOPolling
 	}
-	per += time.Duration(int(500*time.Nanosecond) / r.cfg.BatchSubmit)
+	per += 500 * time.Nanosecond / time.Duration(r.cfg.BatchSubmit)
 	return per
 }
 

@@ -154,7 +154,7 @@ func (r *Ring) cpuPerIO() time.Duration {
 	}
 	// Batched submission amortizes a fixed syscall cost; model it as a
 	// small constant divided by the batch size.
-	per += time.Duration(int(500*time.Nanosecond) / r.cfg.BatchSubmit)
+	per += 500 * time.Nanosecond / time.Duration(r.cfg.BatchSubmit)
 	return per
 }
 

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"slices"
+
 	"sdm/internal/embedding"
 	"sdm/internal/model"
 	"sdm/internal/stats"
@@ -45,6 +47,9 @@ func TemporalLocality(inst *model.Instance, qs []Query, minAccesses int) []Tempo
 			vals = append(vals, c)
 			total += c
 		}
+		// CDF re-sorts by count internally, but keep the collected order
+		// deterministic at the source rather than leaning on the callee.
+		slices.Sort(vals)
 		if int(total) < minAccesses {
 			continue
 		}
