@@ -3,7 +3,7 @@
 GO ?= go
 REV ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet lint fmt-check test race bench bench-json bench-diff bench-gate print-bench-gated profile ci
+.PHONY: all build vet lint fmt-check test race bench bench-scale bench-json bench-diff bench-gate print-bench-gated print-bench-regress-only profile ci
 
 all: build test
 
@@ -38,6 +38,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# The 64-host fleet benchmark with allocation reporting (B/op, allocs/op)
+# — the quick local check that the zero-alloc hot path held up.
+bench-scale:
+	$(GO) test -bench=BenchmarkFleetScale -benchmem -run='^$$' .
+
 # Machine-readable results of every experiment for this revision — the
 # benchmark-trajectory artifact CI uploads (BENCH_<rev>.json per PR).
 bench-json:
@@ -64,13 +69,22 @@ bench-diff:
 # it via `make -s print-bench-gated`.
 BENCH_GATED = fig1,tab1,fig3,tab2,fig4,fig5,fig6,tab3,tab4,tab8,tab9,tab10,tab11,cluster,sgl,mmap,deprune,dequant,interop,polling,warmup,update
 
+# Cost-budget ids gated direction-aware: only increases beyond 10% fail
+# (the alloc experiment's B/query and allocs/query rows — lower is
+# strictly better, so improvements land without a re-baseline).
+BENCH_REGRESS_ONLY = alloc
+
 print-bench-gated:
 	@echo $(BENCH_GATED)
 
+print-bench-regress-only:
+	@echo $(BENCH_REGRESS_ONLY)
+
 # The CI gate, runnable locally: fails on >10% regressions of the gated
-# benchmarks against the committed baseline.
+# benchmarks against the committed baseline. Allocation-budget rows are
+# gated regression-only (growth fails, shrinkage passes).
 bench-gate:
-	$(MAKE) bench-diff BENCH_DIFF_FLAGS="-tol 10 -fail-on $(BENCH_GATED)"
+	$(MAKE) bench-diff BENCH_DIFF_FLAGS="-tol 10 -fail-on $(BENCH_GATED) -regress-only $(BENCH_REGRESS_ONLY)"
 
 # Wall-clock profiles of the scale-up path: a 64-host metered fleet under
 # sdmcluster with CPU + heap profiles. Phases carry pprof labels

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchdiff [-tol pct] [-fail-on-change] [-fail-on ids] baseline.json current.json
+//	benchdiff [-tol pct] [-fail-on-change] [-fail-on ids] [-regress-only ids] baseline.json current.json
 //
 // Rows are matched positionally within each experiment. When a row's
 // non-numeric skeleton is unchanged, every embedded number is compared and
@@ -17,6 +17,11 @@
 // on >10% regressions of the query-engine and cluster benchmarks while
 // the adapt drills (drift/rowrange/coord) stay warn-only, since those are
 // the rows a PR is usually *meant* to move.
+//
+// -regress-only gates ids direction-aware: only *increases* beyond -tol
+// fail, decreases print but pass. It fits cost budgets like the alloc
+// experiment's B/query rows, where lower is strictly better and an
+// improvement should never force a re-baseline to land.
 package main
 
 import (
@@ -43,9 +48,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
-		tol    = fs.Float64("tol", 2.0, "relative delta (in %) below which a number counts as unchanged")
-		strict = fs.Bool("fail-on-change", false, "exit non-zero when any benchmark drifted beyond -tol")
-		failOn = fs.String("fail-on", "", "comma-separated experiment ids whose drift beyond -tol (or addition/removal) fails the run; other ids stay warn-only")
+		tol     = fs.Float64("tol", 2.0, "relative delta (in %) below which a number counts as unchanged")
+		strict  = fs.Bool("fail-on-change", false, "exit non-zero when any benchmark drifted beyond -tol")
+		failOn  = fs.String("fail-on", "", "comma-separated experiment ids whose drift beyond -tol (or addition/removal) fails the run; other ids stay warn-only")
+		regOnly = fs.String("regress-only", "", "comma-separated experiment ids gated direction-aware: only numeric increases beyond -tol (or shape changes/removal) fail; decreases pass")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +78,12 @@ func run(args []string) error {
 			gated[id] = true
 		}
 	}
+	regGated := map[string]bool{}
+	for _, id := range strings.Split(*regOnly, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			regGated[id] = true
+		}
+	}
 
 	baseByID := make(map[string]experiments.Report, len(base))
 	for _, r := range base {
@@ -90,9 +102,10 @@ func run(args []string) error {
 			continue
 		}
 		delete(baseByID, c.ID)
-		if d := diffReport(b, c, *tol); d > 0 {
+		d, reg := diffReport(b, c, *tol)
+		if d > 0 {
 			changed++
-			if gated[c.ID] {
+			if gated[c.ID] || (regGated[c.ID] && reg > 0) {
 				gatedDrift = append(gatedDrift, c.ID)
 			}
 		} else {
@@ -106,7 +119,7 @@ func run(args []string) error {
 	sort.Strings(removed)
 	for _, id := range removed {
 		fmt.Printf("== %-10s removed from current run\n", id)
-		if gated[id] {
+		if gated[id] || regGated[id] {
 			gatedDrift = append(gatedDrift, id)
 		}
 	}
@@ -139,33 +152,40 @@ func load(path string) ([]experiments.Report, error) {
 var numRE = regexp.MustCompile(`-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?`)
 
 // diffReport prints one experiment's drifted rows and returns how many
-// rows moved beyond the tolerance.
-func diffReport(b, c experiments.Report, tolPct float64) int {
+// rows moved beyond the tolerance, plus how many of those moved *up* —
+// row shape changes and row additions/removals count as regressions, a
+// pure numeric decrease does not.
+func diffReport(b, c experiments.Report, tolPct float64) (drifted, regressed int) {
 	n := len(b.Rows)
 	if len(c.Rows) > n {
 		n = len(c.Rows)
 	}
-	drifted := 0
 	var lines []string
 	for i := 0; i < n; i++ {
 		switch {
 		case i >= len(b.Rows):
 			drifted++
+			regressed++
 			lines = append(lines, fmt.Sprintf("  + %s", c.Rows[i]))
 		case i >= len(c.Rows):
 			drifted++
+			regressed++
 			lines = append(lines, fmt.Sprintf("  - %s", b.Rows[i]))
 		default:
-			worst, ok := rowDelta(b.Rows[i], c.Rows[i])
+			worst, worstUp, ok := rowDelta(b.Rows[i], c.Rows[i])
 			if !ok {
 				if b.Rows[i] != c.Rows[i] {
 					drifted++
+					regressed++
 					lines = append(lines, fmt.Sprintf("  ~ %s\n    → %s (shape changed)", b.Rows[i], c.Rows[i]))
 				}
 				continue
 			}
 			if worst > tolPct {
 				drifted++
+				if worstUp > tolPct {
+					regressed++
+				}
 				lines = append(lines, fmt.Sprintf("  ~ %s\n    → %s (worst Δ %.1f%%)", b.Rows[i], c.Rows[i], worst))
 			}
 		}
@@ -176,20 +196,21 @@ func diffReport(b, c experiments.Report, tolPct float64) int {
 			fmt.Println(l)
 		}
 	}
-	return drifted
+	return drifted, regressed
 }
 
 // rowDelta compares the numbers of two rows with an identical non-numeric
-// skeleton and returns the worst relative delta in percent. ok is false
+// skeleton and returns the worst relative delta in percent, both overall
+// and restricted to increases (for direction-aware gating). ok is false
 // when the skeletons differ (the rows are not number-comparable).
-func rowDelta(b, c string) (worst float64, ok bool) {
+func rowDelta(b, c string) (worst, worstUp float64, ok bool) {
 	if numRE.ReplaceAllString(b, "#") != numRE.ReplaceAllString(c, "#") {
-		return 0, false
+		return 0, 0, false
 	}
 	bn := numRE.FindAllString(b, -1)
 	cn := numRE.FindAllString(c, -1)
 	if len(bn) != len(cn) {
-		return 0, false
+		return 0, 0, false
 	}
 	for i := range bn {
 		x, errX := strconv.ParseFloat(bn[i], 64)
@@ -209,6 +230,9 @@ func rowDelta(b, c string) (worst float64, ok bool) {
 		if d > worst {
 			worst = d
 		}
+		if y > x && d > worstUp {
+			worstUp = d
+		}
 	}
-	return worst, true
+	return worst, worstUp, true
 }

@@ -114,7 +114,9 @@ func run(args []string) error {
 	// Experiments are independent simulations: run them across a worker
 	// pool and print the results in request order. Each store additionally
 	// fans its query operators across all cores via the sharded engine, so
-	// the numbers are identical to a sequential run.
+	// the numbers are identical to a sequential run. Exclusive experiments
+	// (allocation measurements over process-global MemStats) run afterwards
+	// with the pool drained, so concurrent simulations can't pollute them.
 	results := make([]experiments.Result, len(ids))
 	errs := make([]error, len(ids))
 	next := make(chan int)
@@ -128,11 +130,18 @@ func run(args []string) error {
 			}
 		}()
 	}
-	for i := range ids {
-		next <- i
+	for i, id := range ids {
+		if !experiments.Exclusive(id) {
+			next <- i
+		}
 	}
 	close(next)
 	wg.Wait()
+	for i, id := range ids {
+		if experiments.Exclusive(id) {
+			results[i], errs[i] = experiments.Run(id, sc)
+		}
+	}
 
 	for i, id := range ids {
 		if errs[i] != nil {

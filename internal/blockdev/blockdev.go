@@ -187,6 +187,10 @@ type Device struct {
 	channels []simclock.Time // next-free virtual time per internal channel
 	stats    Stats
 	closed   bool
+	// shared marks data as a read-only image shared with other devices
+	// (see ShareImage/NewShared); the next Write materializes a private
+	// copy first, so sharing never changes observable behaviour.
+	shared bool
 	// MaxOutstanding caps concurrently queued IOs; 0 means unlimited.
 	// The paper limits outstanding requests to Nand devices to smooth
 	// bursts (§4.1 Tuning API); enforcement happens in package uring,
@@ -214,6 +218,28 @@ func New(spec TechSpec, capacity int64, clock *simclock.Clock, seed uint64) *Dev
 		d.MaxOutstanding = 2 * nch
 	}
 	return d
+}
+
+// NewShared creates a device whose media starts as a shared read-only
+// image — typically another identically-loaded device's contents obtained
+// via ShareImage. Timing state, counters and the RNG are the device's own;
+// only the media bytes are shared, and the first Write replaces them with
+// a private copy (copy-on-write). This removes the dominant allocation of
+// building N replica hosts whose load phases write identical bytes.
+func NewShared(spec TechSpec, image []byte, clock *simclock.Clock, seed uint64) *Device {
+	d := New(spec, 0, clock, seed)
+	d.data = image
+	d.shared = true
+	return d
+}
+
+// ShareImage marks the device's media as a shared read-only image and
+// returns it for replica devices (NewShared). The device itself becomes
+// copy-on-write too: its next Write works on a private copy, leaving the
+// returned image untouched.
+func (d *Device) ShareImage() []byte {
+	d.shared = true
+	return d.data
 }
 
 // Spec returns the device's technology parameters.
@@ -381,7 +407,10 @@ func (d *Device) AccountRead(now simclock.Time, off int64, n int, sgl bool) (sim
 	return done, nil
 }
 
-// Write writes p at off, modelling program latency and endurance wear.
+// Write writes p at off, modelling program latency and endurance wear. It
+// is exactly a data copy followed by AccountWrite, so a caller whose bytes
+// are already on the media (a shared load image) observes bit-identical
+// completion times, stats and RNG draws from AccountWrite alone.
 func (d *Device) Write(now simclock.Time, p []byte, off int64) (simclock.Time, error) {
 	if d.closed {
 		return now, ErrClosed
@@ -389,17 +418,35 @@ func (d *Device) Write(now simclock.Time, p []byte, off int64) (simclock.Time, e
 	if off < 0 || off+int64(len(p)) > int64(len(d.data)) {
 		return now, fmt.Errorf("%w: off=%d len=%d cap=%d", ErrOutOfRange, off, len(p), len(d.data))
 	}
+	if d.shared {
+		d.data = append([]byte(nil), d.data...)
+		d.shared = false
+	}
 	copy(d.data[off:off+int64(len(p))], p)
-	_, span := d.alignedSpan(off, len(p))
-	gr := d.granules(off, len(p))
+	return d.AccountWrite(now, off, len(p))
+}
+
+// AccountWrite books the timing, counters, endurance wear and RNG draws of
+// an n-byte write at off without moving data — the write-side counterpart
+// of AccountRead, for replaying a load phase whose bytes a shared media
+// image already holds.
+func (d *Device) AccountWrite(now simclock.Time, off int64, n int) (simclock.Time, error) {
+	if d.closed {
+		return now, ErrClosed
+	}
+	if off < 0 || off+int64(n) > int64(len(d.data)) {
+		return now, fmt.Errorf("%w: off=%d len=%d cap=%d", ErrOutOfRange, off, n, len(d.data))
+	}
+	_, span := d.alignedSpan(off, n)
+	gr := d.granules(off, n)
 	done := now
 	for i := 0; i < gr; i++ {
 		if t := d.serviceOne(now, true); t > done {
 			done = t
 		}
 	}
-	done += simclock.Time(d.busTime(len(p)))
-	d.stats.BusWriteBytes += uint64(len(p))
+	done += simclock.Time(d.busTime(n))
+	d.stats.BusWriteBytes += uint64(n)
 	d.stats.Writes++
 	d.stats.BytesWritten += uint64(span)
 	return done, nil

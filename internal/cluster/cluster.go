@@ -67,8 +67,14 @@ type Fleet struct {
 	failed   int
 
 	// routed counts the queries routed to each host this Run — the
-	// front-end's own load ledger, exposed through View.Routed.
+	// front-end's own load ledger, exposed through View.Routed. Reused
+	// (zeroed in place) across Runs, like records and the class ledgers
+	// below: repeated Runs on one fleet allocate no per-run bookkeeping.
 	routed []int
+
+	// records is the per-query outcome buffer, grown once and reused by
+	// every Run (aggregate consumes it before Run returns).
+	records []record
 
 	// Optional SLO serving layer: a migration-window coordinator and the
 	// per-host adapters (both surfaced through the View for
@@ -128,12 +134,27 @@ type member struct {
 	completed int
 	closed    bool
 	err       error
+
+	// free recycles the deep-copy buffers that carry arena-backed
+	// generator queries to this member's goroutine: the front-end pops a
+	// buffer per routed query (copyQuery), the goroutine returns it after
+	// execution. Guarded by mu. hiIdx/hiPools/hiOps are the member's
+	// high-water query sizes (front-end only): every buffer is Reserved
+	// to the high-water mark, so a recycled buffer reallocates at most
+	// once per new maximum instead of creeping toward the workload's
+	// long-tail sizes buffer by buffer.
+	free    []*workload.QueryBuf
+	hiIdx   int
+	hiPools int
+	hiOps   int
 }
 
 type job struct {
 	idx int
 	at  simclock.Time
-	q   workload.Query
+	// q owns the query's deep-copied storage for the duration of the job;
+	// the member goroutine recycles it into the free list afterwards.
+	q *workload.QueryBuf
 }
 
 // record is one query's outcome, written by the owning host goroutine at
@@ -331,7 +352,13 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 		workers = len(f.members)
 	}
 	sem := make(chan struct{}, workers)
-	records := make([]record, n)
+	if cap(f.records) < n {
+		f.records = make([]record, n)
+	}
+	records := f.records[:n]
+	for i := range records {
+		records[i] = record{}
+	}
 	var wg sync.WaitGroup
 	for _, m := range f.members {
 		m.mu.Lock()
@@ -367,9 +394,16 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 		f.driftArmed = false
 	}
 
-	f.routed = make([]int, len(f.members))
-	f.classOffered, f.classShed = nil, nil
-	f.classDelayed, f.classDelay = nil, nil
+	if cap(f.routed) < len(f.members) {
+		f.routed = make([]int, len(f.members))
+	} else {
+		f.routed = f.routed[:len(f.members)]
+		for i := range f.routed {
+			f.routed[i] = 0
+		}
+	}
+	f.classOffered, f.classShed = f.classOffered[:0], f.classShed[:0]
+	f.classDelayed, f.classDelay = f.classDelayed[:0], f.classDelay[:0]
 	if f.trace != nil {
 		f.trace.reset()
 	}
@@ -401,7 +435,12 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 			f.driftAt = t
 			drifted = true
 		}
-		q := f.gen.Next()
+		// NextShared reuses the generator's arena: the query is only valid
+		// until the next draw, so the push below deep-copies it into a
+		// member-owned recycled buffer before the goroutine consumes it.
+		// Everything the front-end itself touches (UserID, Class) is a
+		// value field, safe without a copy.
+		q := f.gen.NextShared()
 		if i == failIdx {
 			if runErr = f.syncAll(); runErr != nil {
 				break
@@ -457,7 +496,7 @@ func (f *Fleet) Run(qps float64, n int) (*Result, error) {
 			at = m.lastPush
 		}
 		m.lastPush = at
-		m.push(job{idx: i, at: at, q: q})
+		m.push(job{idx: i, at: at, q: m.copyQuery(q)})
 	}
 	if err := f.syncAll(); runErr == nil {
 		runErr = err
@@ -517,20 +556,66 @@ func (f *Fleet) noteDelayed(c int, seconds float64) {
 	f.classDelay[c] += seconds
 }
 
-// push appends a routed job to the member's FIFO queue.
+// pushBound caps a member's queued jobs: the front-end stalls once a
+// member is this far behind, bounding in-flight deep-copy buffers (so
+// free-list reuse stays effective and fleet memory stays flat at any run
+// length). Purely wall-clock backpressure — every job's admission time is
+// fixed before the push, so virtual-time results are unchanged.
+const pushBound = 256
+
+// push appends a routed job to the member's FIFO queue, waiting while the
+// queue is at pushBound.
 func (m *member) push(j job) {
 	m.mu.Lock()
+	for len(m.jobs) >= pushBound && !m.closed && m.err == nil {
+		m.cond.Wait()
+	}
 	m.jobs = append(m.jobs, j)
 	m.submitted++
 	m.cond.Broadcast()
 	m.mu.Unlock()
 }
 
-// loop is the member's host goroutine: drain jobs FIFO, execute under the
-// fleet-wide worker semaphore, publish each record at its query index.
+// copyQuery deep-copies the generator's arena-backed query into a recycled
+// member-owned buffer. The front-end overwrites the arena on its next draw,
+// while the member goroutine consumes the copy asynchronously; the buffer
+// returns to the free list once the job is executed.
+func (m *member) copyQuery(q workload.Query) *workload.QueryBuf {
+	ni, np, no := q.Size()
+	if ni > m.hiIdx {
+		m.hiIdx = ni
+	}
+	if np > m.hiPools {
+		m.hiPools = np
+	}
+	if no > m.hiOps {
+		m.hiOps = no
+	}
+	m.mu.Lock()
+	var b *workload.QueryBuf
+	if n := len(m.free); n > 0 {
+		b = m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+	}
+	m.mu.Unlock()
+	if b == nil {
+		b = new(workload.QueryBuf)
+	}
+	b.Reserve(m.hiIdx, m.hiPools, m.hiOps)
+	b.CopyFrom(q)
+	return b
+}
+
+// loop is the member's host goroutine: drain queued jobs FIFO in batches,
+// execute them under the fleet-wide worker semaphore, publish each record
+// at its query index. Batch-draining keeps mutex traffic at one
+// lock/unlock pair per burst instead of per query; execution order and
+// virtual-time results are identical either way.
 func (m *member) loop(sem chan struct{}, records []record) {
 	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
 		pprof.Labels("sdm_phase", "exec", "sdm_host", strconv.Itoa(m.id))))
+	var run []job
 	for {
 		m.mu.Lock()
 		for len(m.jobs) == 0 && !m.closed {
@@ -540,41 +625,52 @@ func (m *member) loop(sem chan struct{}, records []record) {
 			m.mu.Unlock()
 			return
 		}
-		j := m.jobs[0]
-		m.jobs = m.jobs[1:]
+		run = append(run[:0], m.jobs...)
+		m.jobs = m.jobs[:0]
 		failed := m.err != nil
+		// Wake a front-end stalled on pushBound: the queue just emptied.
+		m.cond.Broadcast()
 		m.mu.Unlock()
 
-		var rec record
-		var err error
+		var firstErr error
 		if !failed {
 			sem <- struct{}{}
-			// Live metrics: mark every sampling boundary crossed before
-			// this job. Admission times are non-decreasing per host, so
-			// the series depends only on the deterministic job sequence.
-			m.meter.tick(j.at)
-			before := m.host.Snapshot()
-			var done simclock.Time
-			done, err = m.host.Admit(j.at, j.q)
-			if err == nil {
-				rec = record{
+			for k := range run {
+				j := &run[k]
+				// Live metrics: mark every sampling boundary crossed
+				// before this job. Admission times are non-decreasing per
+				// host, so the series depends only on the deterministic
+				// job sequence.
+				m.meter.tick(j.at)
+				before := m.host.Snapshot()
+				done, err := m.host.Admit(j.at, j.q.Q)
+				if err != nil {
+					// Later jobs are skipped; their records stay zero,
+					// exactly as if they had arrived after the error.
+					firstErr = err
+					break
+				}
+				records[j.idx] = record{
 					arrive: j.at,
 					done:   done,
 					host:   m.id,
-					user:   j.q.UserID,
-					class:  j.q.Class,
+					user:   j.q.Q.UserID,
+					class:  j.q.Q.Class,
 					delta:  m.host.Snapshot().Sub(before),
 					ok:     true,
 				}
 			}
 			<-sem
 		}
-		records[j.idx] = rec
 
 		m.mu.Lock()
-		m.completed++
-		if err != nil && m.err == nil {
-			m.err = err
+		m.completed += len(run)
+		if firstErr != nil && m.err == nil {
+			m.err = firstErr
+		}
+		for k := range run {
+			m.free = append(m.free, run[k].q)
+			run[k].q = nil
 		}
 		m.cond.Broadcast()
 		m.mu.Unlock()
@@ -600,34 +696,54 @@ func (f *Fleet) syncAll() error {
 
 // HostSet builds n identical SDM-backed serving hosts over one set of
 // materialized tables: each host gets its own store, virtual clock and
-// derived seed (hosts never share mutable state, which the determinism
-// contract requires). A nil store config builds flat DRAM-baseline hosts.
+// derived seed (hosts never share mutable state the determinism contract
+// cares about). SDM-backed sets open host 0 in full and the rest as
+// replicas sharing its post-load media images copy-on-write
+// (core.OpenReplica) — the stored bytes are identical across hosts, so
+// only load timing is replayed per host, cutting fleet construction from
+// O(n·model) to O(model) allocations. A nil store config builds flat
+// DRAM-baseline hosts.
 func HostSet(inst *model.Instance, tables []*embedding.Table, n int, scfg *core.Config, hcfg serving.Config) ([]*serving.Host, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: host set of %d", n)
 	}
 	hosts := make([]*serving.Host, n)
 	errs := make([]error, n)
+	clks := make([]simclock.Clock, n)
+	var donor *core.Store
+	if scfg != nil {
+		sc := *scfg
+		sc.Seed = scfg.Seed // host 0's derived seed (i = 0)
+		s, err := core.Open(inst, tables, sc, &clks[0])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host set: %w", err)
+		}
+		donor = s
+	}
 	var wg sync.WaitGroup
 	for i := range hosts {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			var clk simclock.Clock
+			clk := &clks[i]
 			var store *core.Store
 			if scfg != nil {
-				sc := *scfg
-				sc.Seed = scfg.Seed + uint64(i)*0x9e3779b9
-				s, err := core.Open(inst, tables, sc, &clk)
-				if err != nil {
-					errs[i] = err
-					return
+				if i == 0 {
+					store = donor
+				} else {
+					sc := *scfg
+					sc.Seed = scfg.Seed + uint64(i)*0x9e3779b9
+					s, err := core.OpenReplica(donor, sc, clk)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					store = s
 				}
-				store = s
 			}
 			hc := hcfg
 			hc.Seed = hcfg.Seed + uint64(i)
-			h, err := serving.NewHost(inst, store, tables, nil, &clk, hc)
+			h, err := serving.NewHost(inst, store, tables, nil, clk, hc)
 			if err != nil {
 				errs[i] = err
 				return

@@ -65,6 +65,11 @@ type opCtx struct {
 // virtual issue time; the result carries IO completion and CPU cost so the
 // caller (the host simulator) can overlap user- and item-side work per
 // Eq. 3.
+//
+// PoolOp stages the op through store-owned scratch (s.opBatch/s.outBatch),
+// which is what makes the single-op path allocation-free. Like every Store
+// method it must not be called concurrently — the scratch is the seam that
+// would break first (see the Store doc's single-threaded contract).
 func (s *Store) PoolOp(now simclock.Time, op workload.TableOp, out [][]float32) (OpResult, error) {
 	s.opBatch[0] = op
 	s.outBatch[0] = out
@@ -302,8 +307,9 @@ func (s *Store) PoolQuery(now simclock.Time, q workload.Query, outs [][][]float3
 	return res, nil
 }
 
-// AllocOutputs builds the output buffers for a query against this store's
-// model (helper for tests, examples and the serving simulator).
+// AllocOutputs builds fresh output buffers for a query against this
+// store's model (helper for tests and examples). Hot loops should reuse an
+// OutputBuf via OutputsFor instead.
 func (s *Store) AllocOutputs(q workload.Query) [][][]float32 {
 	outs := make([][][]float32, len(q.Ops))
 	for i, op := range q.Ops {
@@ -313,6 +319,49 @@ func (s *Store) AllocOutputs(q workload.Query) [][][]float32 {
 			pools[b] = make([]float32, dim)
 		}
 		outs[i] = pools
+	}
+	return outs
+}
+
+// OutputBuf recycles query output tensors across calls: one flat float32
+// backing resliced into per-op, per-pool views. The zero value is ready to
+// use.
+type OutputBuf struct {
+	flat  []float32
+	pools [][]float32
+	outs  [][][]float32
+}
+
+// OutputsFor returns output buffers shaped for q, reusing b's storage; the
+// views are valid until the next OutputsFor call on b. Contents are not
+// zeroed — PoolQuery/PoolOps overwrite every element they report.
+func (s *Store) OutputsFor(q workload.Query, b *OutputBuf) [][][]float32 {
+	nPools, nFloats := 0, 0
+	for _, op := range q.Ops {
+		nPools += len(op.Pools)
+		nFloats += len(op.Pools) * s.inst.Tables[op.Table].Dim
+	}
+	if cap(b.flat) < nFloats {
+		b.flat = make([]float32, nFloats)
+	}
+	if cap(b.pools) < nPools {
+		b.pools = make([][]float32, nPools)
+	}
+	if cap(b.outs) < len(q.Ops) {
+		b.outs = make([][][]float32, len(q.Ops))
+	}
+	flat, pools := b.flat[:nFloats], b.pools[:nPools]
+	outs := b.outs[:len(q.Ops)]
+	fo, po := 0, 0
+	for i, op := range q.Ops {
+		dim := s.inst.Tables[op.Table].Dim
+		n := len(op.Pools)
+		for p := 0; p < n; p++ {
+			pools[po+p] = flat[fo : fo+dim : fo+dim]
+			fo += dim
+		}
+		outs[i] = pools[po : po+n : po+n]
+		po += n
 	}
 	return outs
 }

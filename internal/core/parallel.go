@@ -49,6 +49,10 @@ func (s *Store) Parallelism() int { return s.cfg.Parallelism }
 // classify ops themselves. On error no results, counters or SM timing are
 // recorded, though cache shards retain rows fetched before the failure —
 // identically at every Parallelism setting.
+//
+// The returned slice is backed by store-owned scratch and is only valid
+// until the next PoolOps/PoolQuery/PoolOp call; copy any OpResult that
+// must outlive it.
 func (s *Store) PoolOps(now simclock.Time, ops []workload.TableOp, outs [][][]float32) ([]OpResult, error) {
 	if len(outs) != len(ops) {
 		return nil, fmt.Errorf("core: %d output sets for %d ops", len(outs), len(ops))
@@ -91,27 +95,31 @@ func (s *Store) PoolOps(now simclock.Time, ops []workload.TableOp, outs [][][]fl
 	scratch := s.scratchFor(workers)
 
 	ctxs := s.ctxsFor(len(ops))
-	err := runIndexed(len(ops), workers, func(worker, i int) error {
-		c := &ctxs[i]
-		c.st = s.tables[ops[i].Table]
-		c.now = now
-		c.res.IODone = now
-		c.buf = scratch[worker].buf
-		c.immediate = immediate
-		if c.st.rangeLookups != nil && c.st.target == placement.SM {
-			c.rlk = zeroedRanges(c.rlk, len(c.st.rangeLookups))
-		} else {
-			c.rlk = nil
+	var err error
+	if workers <= 1 {
+		// Closure-free single-worker path: with Parallelism 1 the
+		// functional phase allocates nothing. Error semantics match
+		// runIndexed — every op runs, the lowest-index error wins.
+		for i := range ops {
+			if e := s.execOp(ctxs, scratch, ops, outs, now, immediate, 0, i); e != nil && err == nil {
+				err = e
+			}
 		}
-		return s.runOp(c, ops[i], outs[i])
-	})
+	} else {
+		err = runIndexed(len(ops), workers, func(worker, i int) error {
+			return s.execOp(ctxs, scratch, ops, outs, now, immediate, worker, i)
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
 
 	// Deterministic merge: replay deferred IO and fold per-op counters in
 	// operator order.
-	results := make([]OpResult, len(ops))
+	if cap(s.resBuf) < len(ops) {
+		s.resBuf = make([]OpResult, len(ops))
+	}
+	results := s.resBuf[:len(ops)]
 	for i := range ctxs {
 		c := &ctxs[i]
 		if !c.immediate {
@@ -128,6 +136,23 @@ func (s *Store) PoolOps(now simclock.Time, ops []workload.TableOp, outs [][][]fl
 		results[i] = c.res
 	}
 	return results, nil
+}
+
+// execOp prepares op i's context and runs its functional phase on the
+// given worker's scratch.
+func (s *Store) execOp(ctxs []opCtx, scratch []*opScratch, ops []workload.TableOp, outs [][][]float32, now simclock.Time, immediate bool, worker, i int) error {
+	c := &ctxs[i]
+	c.st = s.tables[ops[i].Table]
+	c.now = now
+	c.res.IODone = now
+	c.buf = scratch[worker].buf
+	c.immediate = immediate
+	if c.st.rangeLookups != nil && c.st.target == placement.SM {
+		c.rlk = zeroedRanges(c.rlk, len(c.st.rangeLookups))
+	} else {
+		c.rlk = nil
+	}
+	return s.runOp(c, ops[i], outs[i])
 }
 
 // replayIO books the timing of an op's deferred SM reads in issue order,

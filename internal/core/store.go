@@ -1,8 +1,9 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
+	"reflect"
+	"sync"
 	"time"
 
 	"sdm/internal/blockdev"
@@ -61,6 +62,15 @@ type Store struct {
 	ctxBuf   []opCtx
 	opBatch  [1]workload.TableOp
 	outBatch [1][][]float32
+	// resBuf backs the OpResult slice PoolOps returns; the results of one
+	// call are overwritten by the next (see PoolOps doc).
+	resBuf []OpResult
+
+	// shareMu guards sharedImages, the device media images handed to
+	// replica stores (OpenReplica). Once populated, this store's devices
+	// are copy-on-write.
+	shareMu      sync.Mutex
+	sharedImages [][]byte
 }
 
 // opScratch is the per-worker scratch state of the query engine.
@@ -195,6 +205,127 @@ func Open(inst *model.Instance, tables []*embedding.Table, cfg Config, clock *si
 	return s, nil
 }
 
+// OpenReplica builds a store identical to a freshly opened donor except
+// for its seed-driven timing. Replica hosts in a fleet load the same
+// tables through the same config, so the stored media bytes are identical
+// across hosts; only the device RNG draws (and hence load timing) differ.
+// Instead of re-running load transforms, staging stripes and filling
+// per-device media, the replica shares the donor's post-load media images
+// (copy-on-write, see blockdev.NewShared) and immutable metadata, and
+// replays only the load timing through AccountWrite with its own RNG.
+// Every observable — media contents, stats, device RNG state, load
+// completion time — matches a full Open with the same cfg bit for bit;
+// only the construction cost changes.
+//
+// cfg must equal the donor's config except for Seed, and the donor must
+// not have executed queries or writes yet. Concurrent OpenReplica calls on
+// one donor are safe; the replica itself follows the usual single-threaded
+// Store contract.
+func OpenReplica(donor *Store, cfg Config, clock *simclock.Clock) (*Store, error) {
+	cfg = cfg.Defaulted()
+	want := donor.cfg
+	want.Seed = cfg.Seed
+	if !reflect.DeepEqual(want, cfg) {
+		return nil, fmt.Errorf("core: replica config differs from donor beyond Seed")
+	}
+
+	s := &Store{cfg: cfg, inst: donor.inst, clock: clock, plan: donor.plan}
+	s.tables = make([]*tableState, len(donor.tables))
+	for i, dt := range donor.tables {
+		st := &tableState{
+			spec:         dt.spec,
+			target:       dt.target,
+			cacheEnabled: dt.cacheEnabled,
+			swappable:    dt.swappable,
+			rangeRows:    dt.rangeRows,
+			fm:           dt.fm,
+			smBase:       dt.smBase, // fixed at load, never mutated after
+			rowBytes:     dt.rowBytes,
+			rows:         dt.rows,
+			storedSpec:   dt.storedSpec,
+			mapper:       dt.mapper, // read-only mapping tensor
+		}
+		if dt.rangeLookups != nil {
+			st.rangeLookups = make([]uint64, len(dt.rangeLookups))
+		}
+		if cfg.PerTableOutstanding > 0 {
+			st.throttle = &ioThrottle{cap: cfg.PerTableOutstanding}
+		}
+		s.tables[i] = st
+	}
+	s.stats.MapperFMBytes = donor.stats.MapperFMBytes
+	s.stats.DeprunedTables = donor.stats.DeprunedTables
+
+	donor.shareMu.Lock()
+	if donor.sharedImages == nil {
+		donor.sharedImages = make([][]byte, len(donor.devices))
+		for d := range donor.devices {
+			donor.sharedImages[d] = donor.devices[d].ShareImage()
+		}
+	}
+	images := donor.sharedImages
+	donor.shareMu.Unlock()
+
+	nd := len(donor.devices)
+	spec := blockdev.Spec(cfg.SMTech)
+	s.devices = make([]*blockdev.Device, nd)
+	s.rings = make([]*uring.SyncRing, nd)
+	s.mmaps = make([]*uring.Mmap, nd)
+	for d := range s.devices {
+		s.devices[d] = blockdev.NewShared(spec, images[d], s.clock, cfg.Seed+uint64(d)*7919)
+		s.rings[d] = uring.NewSync(s.devices[d], cfg.Ring)
+		if cfg.UseMmap {
+			s.mmaps[d] = uring.NewMmap(s.devices[d], s.clock, cfg.CacheBytes/int64(nd))
+		}
+	}
+
+	// Replay the load-phase writes — same table order, stripe geometry and
+	// chunking as loadTables — through AccountWrite: the bytes are already
+	// on the shared image, so only timing, stats and RNG draws accrue.
+	cursor := make([]int64, nd)
+	var loadEnd simclock.Time
+	for i, dt := range donor.tables {
+		reserveOnly := dt.target == placement.FM && dt.swappable
+		if dt.target != placement.SM && !reserveOnly {
+			continue
+		}
+		rb := int64(dt.rowBytes)
+		n := int64(nd)
+		for d := int64(0); d < n; d++ {
+			devBytes := ((dt.rows - d + n - 1) / n) * rb
+			if reserveOnly {
+				cursor[d] += devBytes
+				continue
+			}
+			const chunk = 1 << 20
+			for off := int64(0); off < devBytes; off += chunk {
+				end := off + chunk
+				if end > devBytes {
+					end = devBytes
+				}
+				t, err := s.devices[d].AccountWrite(s.clock.Now(), cursor[d]+off, int(end-off))
+				if err != nil {
+					return nil, fmt.Errorf("core: replica load table %d: %w", i, err)
+				}
+				if t > loadEnd {
+					loadEnd = t
+				}
+			}
+			cursor[d] += devBytes
+			s.stats.LoadSMBytes += devBytes
+		}
+	}
+	s.maxRowBytes = donor.maxRowBytes
+	s.opStamp = make([]uint32, len(s.tables))
+	s.loadDone = loadEnd
+	s.stats.LoadDuration = loadEnd.Duration()
+
+	if err := s.buildCaches(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // loadTables applies load-time transformations and writes SM residents.
 func (s *Store) loadTables(tables []*embedding.Table) error {
 	// First pass: transform tables and compute SM footprint.
@@ -301,10 +432,13 @@ func (s *Store) loadTables(tables []*embedding.Table) error {
 		}
 	}
 
-	// Second pass: write SM residents, striping rows across devices.
+	// Second pass: write SM residents, striping rows across devices. One
+	// staging buffer (sized to the largest stripe) is reused for every
+	// (table, device) pair.
 	cursor := make([]int64, s.cfg.NumDevices)
 	var loadEnd simclock.Time
 	var maxRowBytes int
+	var staging []byte
 	for _, ld := range loads {
 		st := s.tables[ld.idx]
 		st.smBase = make([]int64, s.cfg.NumDevices)
@@ -328,8 +462,11 @@ func (s *Store) loadTables(tables []*embedding.Table) error {
 				cursor[d] += devBytes
 				continue
 			}
-			// Gather the stripe rows into a staging buffer.
-			stripe := make([]byte, devBytes)
+			// Gather the stripe rows into the reused staging buffer.
+			if int64(cap(staging)) < devBytes {
+				staging = make([]byte, devBytes)
+			}
+			stripe := staging[:devBytes]
 			for r := int64(0); r < rowsPerDev[d]; r++ {
 				src := (r*n + d) * rb
 				copy(stripe[r*rb:(r+1)*rb], data[src:src+rb])
@@ -572,19 +709,27 @@ func (s *Store) smLocation(st *tableState, r int64) (dev int, off int64) {
 // ioThrottle caps per-table outstanding IOs using completion timestamps.
 type ioThrottle struct {
 	cap      int
-	inflight timeHeapCore
+	inflight simclock.TimeHeap
+	// drained batches completed-entry cleanup across a query's ops: every
+	// IO of an op is admitted at the same issue time, so after one drain
+	// at time t nothing new can complete at or before t (completions are
+	// strictly after their start). Skipping the re-scan is therefore
+	// accounting-neutral — the same entries are dropped either way.
+	drained simclock.Time
 }
 
 // admit returns the earliest start time for a new IO issued at now and
 // records completion bookkeeping via release.
 func (t *ioThrottle) admit(now simclock.Time) simclock.Time {
-	for len(t.inflight) > 0 && t.inflight[0] <= now {
-		heap.Pop(&t.inflight)
+	if now > t.drained {
+		for t.inflight.Len() > 0 && t.inflight.Min() <= now {
+			t.inflight.PopMin()
+		}
+		t.drained = now
 	}
 	start := now
-	for len(t.inflight) >= t.cap {
-		v := heap.Pop(&t.inflight).(simclock.Time)
-		if v > start {
+	for t.inflight.Len() >= t.cap {
+		if v := t.inflight.PopMin(); v > start {
 			start = v
 		}
 	}
@@ -592,19 +737,5 @@ func (t *ioThrottle) admit(now simclock.Time) simclock.Time {
 }
 
 func (t *ioThrottle) release(done simclock.Time) {
-	heap.Push(&t.inflight, done)
-}
-
-type timeHeapCore []simclock.Time
-
-func (h timeHeapCore) Len() int           { return len(h) }
-func (h timeHeapCore) Less(i, j int) bool { return h[i] < h[j] }
-func (h timeHeapCore) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *timeHeapCore) Push(x any)        { *h = append(*h, x.(simclock.Time)) }
-func (h *timeHeapCore) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+	t.inflight.Push(done)
 }

@@ -32,7 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the evaluation must have a runner.
 	want := []string{
 		"fig1", "tab1", "fig3", "tab2", "fig4", "fig5", "fig6",
-		"tab3", "tab4", "tab8", "tab9", "tab10", "tab11", "cluster", "fleetscale", "drift",
+		"tab3", "tab4", "tab8", "tab9", "tab10", "tab11", "cluster", "fleetscale", "alloc", "drift",
 		"rowrange", "coord", "slo", "sgl", "mmap", "deprune", "dequant", "interop", "polling", "warmup", "update",
 	}
 	got := IDs()
@@ -46,6 +46,20 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, err := Run("nope", quick()); err == nil {
 		t.Fatal("unknown id should fail")
+	}
+}
+
+func TestAlloc(t *testing.T) {
+	res := runExp(t, "alloc").(*AllocResult)
+	// The engine hot path is the zero-alloc contract; a little headroom
+	// absorbs incidental runtime allocations on slow machines.
+	if res.EngineBPerQuery > 64 {
+		t.Fatalf("engine path allocates %.1f B/query, want ~0", res.EngineBPerQuery)
+	}
+	// The fleet path keeps only aggregate per-run costs (histograms,
+	// result assembly) — well under a kilobyte amortized per query.
+	if res.FleetBPerQuery > 1024 {
+		t.Fatalf("fleet path allocates %.1f B/query, want < 1024", res.FleetBPerQuery)
 	}
 }
 

@@ -111,11 +111,14 @@ func runStoreTraceWorkload(sc Scale, cfg core.Config, inst *model.Instance, tabl
 	// serving experiments).
 	var ioLatSum time.Duration
 	var cpuSum time.Duration
+	var obuf core.OutputBuf
 	now := s.LoadDone()
 	for i := 0; i < n; i++ {
 		issue := now + simclock.Time(time.Duration(i)*time.Millisecond)
-		q := gen.Next()
-		outs := s.AllocOutputs(q)
+		// The arena-backed query and the recycled outputs are both
+		// consumed before the next iteration draws again.
+		q := gen.NextShared()
+		outs := s.OutputsFor(q, &obuf)
 		res, err := s.PoolQuery(issue, q, outs)
 		if err != nil {
 			return nil, fmt.Errorf("query %d: %w", i, err)

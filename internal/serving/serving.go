@@ -9,7 +9,6 @@
 package serving
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -118,7 +117,7 @@ type Host struct {
 
 	// inflight holds the completion times of admitted-but-unfinished
 	// queries as a min-heap; cluster routers read it through OutstandingAt.
-	inflight timeHeap
+	inflight simclock.TimeHeap
 
 	// admitted counts externally routed queries accepted through Admit
 	// since host creation (the metrics plane reads it at mark time).
@@ -438,7 +437,7 @@ func (h *Host) Admit(t simclock.Time, q workload.Query) (simclock.Time, error) {
 	}
 	h.admitted++
 	h.retireInflight(t)
-	heap.Push(&h.inflight, done)
+	h.inflight.Push(done)
 	return done, nil
 }
 
@@ -476,24 +475,9 @@ func (h *Host) OutstandingAt(t simclock.Time) int {
 
 // retireInflight pops every completion at or before t off the min-heap.
 func (h *Host) retireInflight(t simclock.Time) {
-	for len(h.inflight) > 0 && h.inflight[0] <= t {
-		heap.Pop(&h.inflight)
+	for h.inflight.Len() > 0 && h.inflight.Min() <= t {
+		h.inflight.PopMin()
 	}
-}
-
-// timeHeap is a min-heap of completion times (container/heap.Interface).
-type timeHeap []simclock.Time
-
-func (h timeHeap) Len() int           { return len(h) }
-func (h timeHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h timeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *timeHeap) Push(x any)        { *h = append(*h, x.(simclock.Time)) }
-func (h *timeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
 }
 
 // CacheSnapshot is a point-in-time view of a host's cache and IO counters.
@@ -622,7 +606,9 @@ func (h *Host) RunOpenLoop(qps float64, n int) (Result, error) {
 	last := start
 	for i := 0; i < n; i++ {
 		t += simclock.Time(h.rng.Exp(1 / qps * float64(time.Second)))
-		q := h.gen.Next()
+		// Arena-backed: the query is consumed synchronously by execQuery
+		// before the next iteration reuses the generator's storage.
+		q := h.gen.NextShared()
 		if h.tuner != nil {
 			h.tuner.BeforeAdmit(t)
 		}

@@ -1,0 +1,59 @@
+package simclock
+
+// TimeHeap is a min-heap of virtual timestamps with no interface boxing:
+// container/heap's Push(any) allocates to box each Time, which turns
+// per-IO completion bookkeeping (ring throttles, host in-flight sets)
+// into a per-IO heap allocation on the query hot path. TimeHeap keeps the
+// same min-heap semantics over a plain []Time.
+//
+// The zero value is an empty, ready-to-use heap.
+type TimeHeap []Time
+
+// Len returns the number of pending timestamps.
+func (h TimeHeap) Len() int { return len(h) }
+
+// Min returns the earliest pending timestamp; the heap must be non-empty.
+func (h TimeHeap) Min() Time { return h[0] }
+
+// Push adds t to the heap.
+func (h *TimeHeap) Push(t Time) {
+	*h = append(*h, t)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// PopMin removes and returns the earliest pending timestamp; the heap must
+// be non-empty.
+func (h *TimeHeap) PopMin() Time {
+	s := *h
+	min := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && s[l] < s[smallest] {
+			smallest = l
+		}
+		if r < last && s[r] < s[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return min
+}

@@ -1,7 +1,6 @@
 package uring
 
 import (
-	"container/heap"
 	"time"
 
 	"sdm/internal/blockdev"
@@ -18,7 +17,7 @@ import (
 type SyncRing struct {
 	dev      *blockdev.Device
 	cfg      Config
-	inflight timeHeap
+	inflight simclock.TimeHeap
 	stats    Stats
 }
 
@@ -59,13 +58,12 @@ func (r *SyncRing) cpuPerIO() time.Duration {
 func (r *SyncRing) admit(now simclock.Time) simclock.Time {
 	start := now
 	// Drop completed entries, then apply the outstanding cap.
-	for len(r.inflight) > 0 && r.inflight[0] <= now {
-		heap.Pop(&r.inflight)
+	for r.inflight.Len() > 0 && r.inflight.Min() <= now {
+		r.inflight.PopMin()
 	}
 	if r.cfg.MaxOutstanding > 0 {
-		for len(r.inflight) >= r.cfg.MaxOutstanding {
-			t := heap.Pop(&r.inflight).(simclock.Time)
-			if t > start {
+		for r.inflight.Len() >= r.cfg.MaxOutstanding {
+			if t := r.inflight.PopMin(); t > start {
 				start = t
 			}
 		}
@@ -98,7 +96,7 @@ func (r *SyncRing) SubmitSync(now simclock.Time, buf []byte, off int64, write bo
 		r.stats.Errors++
 		return start, err
 	}
-	heap.Push(&r.inflight, done)
+	r.inflight.Push(done)
 	r.stats.Completed++
 	return done, nil
 }
@@ -117,21 +115,7 @@ func (r *SyncRing) SubmitTimedRead(now simclock.Time, n int, off int64) (simcloc
 		r.stats.Errors++
 		return start, err
 	}
-	heap.Push(&r.inflight, done)
+	r.inflight.Push(done)
 	r.stats.Completed++
 	return done, nil
-}
-
-type timeHeap []simclock.Time
-
-func (h timeHeap) Len() int           { return len(h) }
-func (h timeHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h timeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *timeHeap) Push(x any)        { *h = append(*h, x.(simclock.Time)) }
-func (h *timeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
 }

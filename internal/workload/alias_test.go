@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"sdm/internal/model"
+)
+
+func aliasGen(t *testing.T) *Generator {
+	t.Helper()
+	cfg := model.M1()
+	cfg.NumUserTables = 3
+	cfg.NumItemTables = 2
+	cfg.ItemBatch = 4
+	cfg.TotalBytes = 1 << 20
+	in, err := model.Build(cfg, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(in, Config{Seed: 11, NumUsers: 200, UserAlpha: 0.8, SeqChurn: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestNextSharedDeepCopySurvivesReuse is the aliasing regression test for
+// the arena-backed generator: a deep copy of a NextShared query (via
+// Query.Clone or a recycled QueryBuf — the fleet front-end's hand-off
+// path) must stay intact while subsequent draws overwrite the arena.
+func TestNextSharedDeepCopySurvivesReuse(t *testing.T) {
+	g := aliasGen(t)
+	for i := 0; i < 20; i++ {
+		q := g.NextShared()
+		snapshot := q.Clone()
+		var buf QueryBuf
+		buf.CopyFrom(q)
+		// Overwrite the arena several times; the copies must not move.
+		for j := 0; j < 5; j++ {
+			g.NextShared()
+		}
+		if !reflect.DeepEqual(buf.Q, snapshot) {
+			t.Fatalf("draw %d: QueryBuf copy corrupted by later NextShared calls", i)
+		}
+		// A recycled buffer must also hold a fresh copy correctly after
+		// reuse (the fleet free-list path).
+		q2 := g.NextShared()
+		snap2 := q2.Clone()
+		buf.CopyFrom(q2)
+		g.NextShared()
+		if !reflect.DeepEqual(buf.Q, snap2) {
+			t.Fatalf("draw %d: recycled QueryBuf copy corrupted", i)
+		}
+	}
+}
+
+// TestNextSharedMatchesNext verifies the arena path draws the exact same
+// query stream as the allocating path: generation is a pure function of
+// the seed, independent of which API the caller picks.
+func TestNextSharedMatchesNext(t *testing.T) {
+	a, b := aliasGen(t), aliasGen(t)
+	for i := 0; i < 50; i++ {
+		qa := a.NextShared().Clone()
+		qb := b.Next()
+		if !reflect.DeepEqual(qa, qb) {
+			t.Fatalf("query %d: NextShared stream diverges from Next", i)
+		}
+	}
+}

@@ -57,6 +57,98 @@ func (q Query) Lookups() int {
 	return n
 }
 
+// Clone returns a deep copy of q with independent storage (one flat index
+// backing shared by the copy's pools), safe to retain after the source —
+// e.g. a NextShared arena query — is reused.
+func (q Query) Clone() Query {
+	var b QueryBuf
+	b.CopyFrom(q)
+	return b.Q
+}
+
+// QueryBuf is reusable deep-copy storage for queries: CopyFrom rebuilds
+// b.Q as a deep copy of the source, reusing the buffer's previous
+// allocations when they are large enough. Cluster front-ends recycle
+// QueryBufs to hand arena-backed queries to asynchronous host goroutines
+// without per-query garbage.
+type QueryBuf struct {
+	// Q is the current copy; valid until the next CopyFrom on this buffer.
+	Q Query
+
+	idx   []int64
+	pools [][]int64
+	ops   []TableOp
+}
+
+// Size reports the deep-copy storage a query needs: total indices, total
+// pools and op count. Callers pooling QueryBufs use it to track high-water
+// marks and Reserve capacity up front, so a recycled buffer reallocates at
+// most once per new maximum instead of creeping up query by query.
+func (q Query) Size() (nIdx, nPools, nOps int) {
+	for _, op := range q.Ops {
+		nPools += len(op.Pools)
+		for _, p := range op.Pools {
+			nIdx += len(p)
+		}
+	}
+	return nIdx, nPools, len(q.Ops)
+}
+
+// Reserve grows b's storage to hold at least nIdx indices, nPools pools
+// and nOps ops, preserving nothing (b.Q is invalidated).
+func (b *QueryBuf) Reserve(nIdx, nPools, nOps int) {
+	if cap(b.idx) < nIdx {
+		b.idx = make([]int64, 0, nIdx)
+	}
+	if cap(b.pools) < nPools {
+		b.pools = make([][]int64, 0, nPools)
+	}
+	if cap(b.ops) < nOps {
+		b.ops = make([]TableOp, 0, nOps)
+	}
+}
+
+// CopyFrom deep-copies src into b's storage and rebuilds b.Q. The copy
+// shares nothing with src; b.Q and everything it references remain valid
+// until the next CopyFrom.
+func (b *QueryBuf) CopyFrom(src Query) {
+	nIdx, nPools := 0, 0
+	for _, op := range src.Ops {
+		nPools += len(op.Pools)
+		for _, p := range op.Pools {
+			nIdx += len(p)
+		}
+	}
+	b.Reserve(nIdx, nPools, len(src.Ops))
+	idx := b.idx[:0]
+	for _, op := range src.Ops {
+		for _, p := range op.Pools {
+			idx = append(idx, p...)
+		}
+	}
+	b.idx = idx
+	// idx is fully built (capacity pre-sized above), so the pool
+	// subslices cut here stay valid.
+	pools := b.pools[:0]
+	off := 0
+	for _, op := range src.Ops {
+		for _, p := range op.Pools {
+			pools = append(pools, idx[off:off+len(p):off+len(p)])
+			off += len(p)
+		}
+	}
+	b.pools = pools
+	ops := b.ops[:0]
+	pi := 0
+	for _, op := range src.Ops {
+		n := len(op.Pools)
+		ops = append(ops, TableOp{Table: op.Table, Pools: pools[pi : pi+n : pi+n]})
+		pi += n
+	}
+	b.ops = ops
+	b.Q = Query{UserID: src.UserID, Class: src.Class, Ops: ops}
+}
+
 // Config tunes the generator.
 type Config struct {
 	// NumUsers/NumItems are the active populations. Users and items are
@@ -102,6 +194,23 @@ type Generator struct {
 	perms []*xrand.Permuter // per table
 	userZ *xrand.Zipf
 	itemZ *xrand.Zipf
+
+	// seqRNG is the per-pool sequence generator baseSequence reseeds for
+	// every (entity, table) pair. A value field rather than a fresh
+	// xrand.New per pool: reseeding draws the identical sequence while
+	// keeping the hot path free of per-pool RNG allocations.
+	seqRNG xrand.RNG
+
+	// Arena behind NextShared: one flat []int64 backs every pool of the
+	// current query, and ops/pools/ends keep their capacity across
+	// queries. Pool boundaries are recorded as offsets (arenaEnds) while
+	// arenaIdx grows, then fixed up into subslices once the query's index
+	// count is final — so append growth never invalidates a pool.
+	arenaIdx   []int64
+	arenaEnds  []int
+	arenaPools [][]int64
+	arenaOps   []TableOp
+	opPoolN    []int // pools per op, parallel to arenaOps
 
 	// Drift state: generated-query count, forced rotations, and the
 	// current phase's rank→user and rank→item bijections (lazily rebuilt
@@ -179,25 +288,33 @@ func (g *Generator) poolLen(rng *xrand.RNG, pf float64) int {
 	return n
 }
 
-// baseSequence returns entity e's deterministic index sequence for table t,
-// optionally churned by one resampled index. boost scales the table's
-// pooling factor (1 outside drift phases).
-func (g *Generator) baseSequence(table int, entity int64, churn bool, boost float64) []int64 {
+// baseSequence appends entity e's deterministic index sequence for table t
+// to the arena, optionally churned by one resampled index. boost scales
+// the table's pooling factor (1 outside drift phases). The RNG draw
+// sequence is byte-identical to the historical per-pool xrand.New path:
+// Seed-ing the reused value RNG reproduces New's state exactly.
+func (g *Generator) baseSequence(table int, entity int64, churn bool, boost float64) {
 	s := g.inst.Tables[table]
-	rng := xrand.New(g.cfg.Seed ^ uint64(entity)*0x9e3779b97f4a7c15 ^ uint64(s.ID)<<40)
-	n := g.poolLen(rng, s.PoolingFactor*boost)
-	seq := make([]int64, n)
-	for i := range seq {
-		seq[i] = g.perms[table].Map(g.zipfs[table].Rank(rng))
+	g.seqRNG.Seed(g.cfg.Seed ^ uint64(entity)*0x9e3779b97f4a7c15 ^ uint64(s.ID)<<40)
+	n := g.poolLen(&g.seqRNG, s.PoolingFactor*boost)
+	start := len(g.arenaIdx)
+	for i := 0; i < n; i++ {
+		g.arenaIdx = append(g.arenaIdx, g.perms[table].Map(g.zipfs[table].Rank(&g.seqRNG)))
 	}
 	if churn {
-		seq[g.rng.Intn(n)] = g.perms[table].Map(g.zipfs[table].Rank(g.rng))
+		g.arenaIdx[start+g.rng.Intn(n)] = g.perms[table].Map(g.zipfs[table].Rank(g.rng))
 	}
-	return seq
+	g.arenaEnds = append(g.arenaEnds, len(g.arenaIdx))
 }
 
-// Next generates one query.
-func (g *Generator) Next() Query {
+// NextShared generates one query into the generator's internal arena and
+// returns it without allocating: the returned Query (its Ops, Pools and
+// index slices) is valid only until the next NextShared/Next call on this
+// generator, which reuses the same storage. Callers that retain or hand
+// the query to concurrent executors must deep-copy first (Query.Clone, or
+// QueryBuf.CopyFrom for allocation-free recycling). The RNG draw sequence
+// is identical to Next, so mixing the two never perturbs the stream.
+func (g *Generator) NextShared() Query {
 	if a := g.diurnalAlpha(); a != g.userAlpha {
 		g.userZ = xrand.NewZipf(g.cfg.NumUsers, a)
 		g.userAlpha = a
@@ -212,6 +329,10 @@ func (g *Generator) Next() Query {
 	if g.cfg.EvalMode {
 		userBatch = g.itemBatch()
 	}
+	g.arenaIdx = g.arenaIdx[:0]
+	g.arenaEnds = g.arenaEnds[:0]
+	g.arenaOps = g.arenaOps[:0]
+	g.opPoolN = g.opPoolN[:0]
 	for t := 0; t < len(g.inst.Tables); t++ {
 		isUser := t < nUser
 		batch := g.itemBatch()
@@ -219,7 +340,8 @@ func (g *Generator) Next() Query {
 			batch = userBatch
 		}
 		boost := g.tableBoost(t)
-		op := TableOp{Table: t, Pools: make([][]int64, 0, batch)}
+		g.arenaOps = append(g.arenaOps, TableOp{Table: t})
+		g.opPoolN = append(g.opPoolN, batch)
 		for b := 0; b < batch; b++ {
 			var entity int64
 			if isUser {
@@ -232,12 +354,33 @@ func (g *Generator) Next() Query {
 				entity = g.driftItem(g.itemZ.Rank(g.rng))
 			}
 			churn := g.cfg.SeqChurn > 0 && g.rng.Float64() < g.cfg.SeqChurn
-			op.Pools = append(op.Pools, g.baseSequence(t, entity, churn, boost))
+			g.baseSequence(t, entity, churn, boost)
 		}
-		q.Ops = append(q.Ops, op)
 	}
+	// Fix-up: the flat index arena is final, so pool subslices (and the
+	// per-op views over them) can be cut without risking append growth.
+	g.arenaPools = g.arenaPools[:0]
+	start := 0
+	for _, end := range g.arenaEnds {
+		g.arenaPools = append(g.arenaPools, g.arenaIdx[start:end:end])
+		start = end
+	}
+	pool := 0
+	for i := range g.arenaOps {
+		n := g.opPoolN[i]
+		g.arenaOps[i].Pools = g.arenaPools[pool : pool+n : pool+n]
+		pool += n
+	}
+	q.Ops = g.arenaOps
 	g.queries++
 	return q
+}
+
+// Next generates one query with independent storage (a deep copy of the
+// arena state), safe to retain indefinitely. Hot loops that consume each
+// query before generating the next should prefer NextShared.
+func (g *Generator) Next() Query {
+	return g.NextShared().Clone()
 }
 
 // NextRouted returns the next query of the shared-population stream along

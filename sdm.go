@@ -75,6 +75,9 @@ type (
 	OpResult = core.OpResult
 	// QueryResult is the per-query accounting (user/item IO overlap).
 	QueryResult = core.QueryResult
+	// OutputBuf is recycled output-tensor storage for Store.OutputsFor —
+	// the allocation-free alternative to Store.AllocOutputs in hot loops.
+	OutputBuf = core.OutputBuf
 	// CacheKind selects the FM cache organization (Fig. 6).
 	CacheKind = core.CacheKind
 	// UpdateMode selects offline vs online (cache-first) model updates.
@@ -107,6 +110,9 @@ type (
 	Generator = workload.Generator
 	// Query is one inference request.
 	Query = workload.Query
+	// QueryBuf is recycled deep-copy storage for retaining arena-backed
+	// Generator.NextShared queries past the next draw.
+	QueryBuf = workload.QueryBuf
 	// TableOp is one embedding operator's index work.
 	TableOp = workload.TableOp
 )
